@@ -1,0 +1,396 @@
+package ecg_test
+
+// Benchmark harness: one benchmark per figure of the paper's evaluation
+// section (Figures 3-9), the ablation benches called out in DESIGN.md, and
+// micro-benchmarks of the hot substrate paths.
+//
+// The figure benches run the full experiment at reduced scale per
+// iteration; run with a larger -benchscale (see benchOptions) or use
+// cmd/ecgsim for the paper-scale numbers recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	ecg "edgecachegroups"
+	"edgecachegroups/internal/cluster"
+	"edgecachegroups/internal/core"
+	"edgecachegroups/internal/experiments"
+	"edgecachegroups/internal/gnp"
+	"edgecachegroups/internal/landmark"
+	"edgecachegroups/internal/netsim"
+	"edgecachegroups/internal/probe"
+	"edgecachegroups/internal/simrand"
+	"edgecachegroups/internal/topology"
+	"edgecachegroups/internal/vivaldi"
+	"edgecachegroups/internal/workload"
+)
+
+// benchOptions returns the scaled-down experiment options used by the
+// figure benchmarks.
+func benchOptions() experiments.Options {
+	return experiments.Options{Seed: 1, Scale: 0.12, Parallelism: 4, Trials: 1}
+}
+
+func BenchmarkFig3GroupSizeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4LandmarkSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5GroupCountSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6LandmarkCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Representation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8SDSLNetworkSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9SDSLGroupSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTheta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationTheta(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPLSetM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPLSetM(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationProbeNoise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationProbeNoise(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFailures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationFailures(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the substrate hot paths ---
+
+func benchTopology(b *testing.B) *topology.Graph {
+	b.Helper()
+	g, err := topology.GenerateTransitStub(topology.DefaultTransitStubParams(), simrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkTopologyGenerate(b *testing.B) {
+	params := topology.DefaultTransitStubParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := topology.GenerateTransitStub(params, simrand.New(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDijkstra(b *testing.B) {
+	g := benchTopology(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.ShortestPaths(topology.NodeID(i % g.NumNodes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProbeMeasure(b *testing.B) {
+	g := benchTopology(b)
+	nw, err := topology.NewNetwork(g, topology.PlaceParams{NumCaches: 100}, simrand.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := probe.NewProber(nw, probe.DefaultConfig(), simrand.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Measure(probe.Cache(topology.CacheIndex(i%100)), probe.Origin()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeans500x25(b *testing.B) {
+	src := simrand.New(4)
+	points := make([]cluster.Vector, 500)
+	for i := range points {
+		points[i] = make(cluster.Vector, 25)
+		for j := range points[i] {
+			points[i][j] = src.Uniform(0, 300)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.KMeans(points, 50, cluster.UniformSeeder{}, cluster.DefaultOptions(), src.SplitN("km", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGNPEmbedHost(b *testing.B) {
+	src := simrand.New(5)
+	landmarks := make([][]float64, 25)
+	toLm := make([]float64, 25)
+	for i := range landmarks {
+		landmarks[i] = []float64{src.Uniform(0, 300), src.Uniform(0, 300), src.Uniform(0, 300), src.Uniform(0, 300), src.Uniform(0, 300)}
+		toLm[i] = src.Uniform(10, 300)
+	}
+	cfg := gnp.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gnp.EmbedHost(landmarks, toLm, cfg, src.SplitN("host", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyLandmarkSelection(b *testing.B) {
+	g := benchTopology(b)
+	nw, err := topology.NewNetwork(g, topology.PlaceParams{NumCaches: 500}, simrand.New(6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := probe.NewProber(nw, probe.DefaultConfig(), simrand.New(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := landmark.Params{L: 25, M: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (landmark.Greedy{}).Select(p, 500, params, simrand.New(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFormGroupsSL500(b *testing.B) {
+	g := benchTopology(b)
+	nw, err := topology.NewNetwork(g, topology.PlaceParams{NumCaches: 500}, simrand.New(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := probe.NewProber(nw, probe.DefaultConfig(), simrand.New(9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gf, err := core.NewCoordinator(nw, p, core.SL(25, 4), simrand.New(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := gf.FormGroups(50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	g := benchTopology(b)
+	const n = 200
+	nw, err := topology.NewNetwork(g, topology.PlaceParams{NumCaches: n}, simrand.New(10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	catalog, err := workload.NewCatalog(workload.DefaultCatalogParams(), simrand.New(11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tp := workload.TraceParams{DurationSec: 120, RequestRatePerCache: 1, Similarity: 0.8}
+	reqs, err := workload.GenerateRequests(catalog, n, tp, simrand.New(12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ups, err := workload.GenerateUpdates(catalog, 120, simrand.New(13))
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups := make([][]topology.CacheIndex, 20)
+	for i := 0; i < n; i++ {
+		groups[i%20] = append(groups[i%20], topology.CacheIndex(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := netsim.New(nw, groups, catalog, netsim.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(reqs, ups); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(reqs)), "requests/op")
+}
+
+// BenchmarkFacadePipeline exercises the full public-API pipeline once per
+// iteration, as a downstream user would run it.
+func BenchmarkFacadePipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		src := ecg.NewRand(int64(i))
+		graph, err := ecg.GenerateTransitStub(ecg.DefaultTransitStubParams(), src.Split("topo"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		nw, err := ecg.NewNetwork(graph, ecg.PlaceParams{NumCaches: 100}, src.Split("place"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		prober, err := ecg.NewProber(nw, ecg.DefaultProbeConfig(), src.Split("probe"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		gf, err := ecg.NewCoordinator(nw, prober, ecg.SDSL(10, 4, 1), src.Split("gf"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := gf.FormGroups(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionRepresentations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RepresentationStudy(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionBeacons(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationBeacons(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionCachePolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationCachePolicy(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionSubstrate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SubstrateStudy(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVivaldiEmbedHost(b *testing.B) {
+	src := simrand.New(14)
+	landmarks := make([][]float64, 25)
+	toLm := make([]float64, 25)
+	for i := range landmarks {
+		landmarks[i] = []float64{src.Uniform(0, 300), src.Uniform(0, 300), src.Uniform(0, 300), src.Uniform(0, 300), src.Uniform(0, 300)}
+		toLm[i] = src.Uniform(10, 300)
+	}
+	cfg := vivaldi.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vivaldi.EmbedHost(landmarks, toLm, cfg, src.SplitN("host", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMedoids500x25(b *testing.B) {
+	src := simrand.New(15)
+	points := make([]cluster.Vector, 500)
+	for i := range points {
+		points[i] = make(cluster.Vector, 25)
+		for j := range points[i] {
+			points[i][j] = src.Uniform(0, 300)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.KMedoids(points, 50, cluster.UniformSeeder{}, cluster.DefaultOptions(), src.SplitN("km", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionProbeOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ProbeOverheadStudy(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionFreshness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FreshnessStudy(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-fig", "5", "-scale", "0.12", "-q"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 5") {
+		t.Fatalf("missing figure header:\n%s", out)
+	}
+	if !strings.Contains(out, "SL greedy") {
+		t.Fatalf("missing series column:\n%s", out)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "42"}, &buf); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunBadScale(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "5", "-scale", "0"}, &buf); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunOutFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	dir := t.TempDir()
+	path := dir + "/tables.txt"
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "5", "-scale", "0.12", "-q", "-out", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Figure 5") {
+		t.Fatalf("out file missing table:\n%s", data)
+	}
+}

@@ -1,0 +1,167 @@
+// Command groupform runs the paper's group formation pipeline end to end
+// on a simulated edge cache network and reports the resulting cooperative
+// groups and their quality.
+//
+// Usage:
+//
+//	groupform -caches 500 -k 50 -scheme sdsl -theta 1
+//	groupform -caches 200 -k 20 -scheme sl -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	ecg "edgecachegroups"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "groupform:", err)
+		os.Exit(1)
+	}
+}
+
+// output is the machine-readable result shape.
+type output struct {
+	Scheme      string  `json:"scheme"`
+	Caches      int     `json:"caches"`
+	K           int     `json:"k"`
+	GICostMS    float64 `json:"avgGroupInteractionCostMS"`
+	Iterations  int     `json:"kmeansIterations"`
+	Converged   bool    `json:"converged"`
+	GroupSizes  []int   `json:"groupSizes"`
+	Assignments []int   `json:"assignments"`
+	SuggestedK  int     `json:"suggestedK,omitempty"`
+}
+
+// clampLandmarks shrinks (L, M) so the potential landmark set fits the
+// network: M*(L-1) <= n (same policy as the experiment harness).
+func clampLandmarks(l, m, n int) (int, int) {
+	if m < 1 {
+		m = 1
+	}
+	if m*(l-1) > n {
+		l = n/m + 1
+	}
+	if l < 2 {
+		l, m = 2, 1
+	}
+	return l, m
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("groupform", flag.ContinueOnError)
+	var (
+		caches   = fs.Int("caches", 500, "number of edge caches")
+		k        = fs.Int("k", 50, "number of cooperative groups")
+		scheme   = fs.String("scheme", "sdsl", "group formation scheme: sl, sdsl, or euclidean")
+		theta    = fs.Float64("theta", 1.0, "SDSL server-distance sensitivity")
+		l        = fs.Int("l", 25, "number of landmarks (including the origin)")
+		m        = fs.Int("m", 4, "PLSet multiplier")
+		dim      = fs.Int("dim", 5, "GNP embedding dimension (euclidean scheme)")
+		selector = fs.String("landmarks", "greedy", "landmark selector: greedy, random, or min-dist")
+		seed     = fs.Int64("seed", 1, "random seed")
+		asJSON   = fs.Bool("json", false, "emit JSON instead of text")
+		suggestK = fs.Bool("suggest-k", false, "also report the elbow-suggested number of groups")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	lEff, mEff := clampLandmarks(*l, *m, *caches)
+	var cfg ecg.SchemeConfig
+	switch strings.ToLower(*scheme) {
+	case "sl":
+		cfg = ecg.SL(lEff, mEff)
+	case "sdsl":
+		cfg = ecg.SDSL(lEff, mEff, *theta)
+	case "euclidean":
+		cfg = ecg.EuclideanScheme(lEff, mEff, *dim)
+	default:
+		return fmt.Errorf("unknown scheme %q (want sl, sdsl, or euclidean)", *scheme)
+	}
+	switch strings.ToLower(*selector) {
+	case "greedy":
+		cfg.Selector = ecg.GreedyLandmarks{}
+	case "random":
+		cfg.Selector = ecg.RandomLandmarks{}
+	case "min-dist", "mindist":
+		cfg.Selector = ecg.MinDistLandmarks{}
+	default:
+		return fmt.Errorf("unknown landmark selector %q", *selector)
+	}
+
+	src := ecg.NewRand(*seed)
+	graph, err := ecg.GenerateTransitStub(ecg.DefaultTransitStubParams(), src.Split("topo"))
+	if err != nil {
+		return fmt.Errorf("generate topology: %w", err)
+	}
+	nw, err := ecg.NewNetwork(graph, ecg.PlaceParams{NumCaches: *caches}, src.Split("place"))
+	if err != nil {
+		return fmt.Errorf("place network: %w", err)
+	}
+	prober, err := ecg.NewProber(nw, ecg.DefaultProbeConfig(), src.Split("probe"))
+	if err != nil {
+		return fmt.Errorf("build prober: %w", err)
+	}
+	gf, err := ecg.NewCoordinator(nw, prober, cfg, src.Split("gf"))
+	if err != nil {
+		return fmt.Errorf("build coordinator: %w", err)
+	}
+	plan, err := gf.FormGroups(*k)
+	if err != nil {
+		return fmt.Errorf("form groups: %w", err)
+	}
+
+	suggested := 0
+	if *suggestK {
+		kMax := *caches / 5
+		if kMax < 2 {
+			kMax = 2
+		}
+		if kMax > 40 {
+			kMax = 40
+		}
+		suggested, _, err = ecg.SuggestK(plan.Points, kMax, src.Split("suggestk"))
+		if err != nil {
+			return fmt.Errorf("suggest k: %w", err)
+		}
+	}
+
+	out := output{
+		Scheme:      plan.Scheme,
+		Caches:      *caches,
+		K:           *k,
+		GICostMS:    ecg.AvgGroupInteractionCost(nw, plan.Groups()),
+		Iterations:  plan.Iterations,
+		Converged:   plan.Converged,
+		GroupSizes:  plan.Sizes(),
+		Assignments: plan.Assignments,
+		SuggestedK:  suggested,
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+
+	fmt.Fprintf(w, "scheme:     %s\n", out.Scheme)
+	fmt.Fprintf(w, "caches/K:   %d / %d\n", out.Caches, out.K)
+	fmt.Fprintf(w, "k-means:    %d iterations, converged=%v\n", out.Iterations, out.Converged)
+	fmt.Fprintf(w, "GICost:     %.1f ms (avg pairwise RTT within groups)\n", out.GICostMS)
+	fmt.Fprintf(w, "group sizes:")
+	for _, s := range out.GroupSizes {
+		fmt.Fprintf(w, " %d", s)
+	}
+	fmt.Fprintln(w)
+	if out.SuggestedK > 0 {
+		fmt.Fprintf(w, "suggested K (elbow of within-cluster SS): %d\n", out.SuggestedK)
+	}
+	return nil
+}

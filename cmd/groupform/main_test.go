@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunTextOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-caches", "60", "-k", "6", "-scheme", "sl"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"scheme:", "GICost:", "group sizes:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-caches", "60", "-k", "6", "-scheme", "sdsl", "-theta", "2", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var out output
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if out.K != 6 || out.Caches != 60 {
+		t.Fatalf("output = %+v", out)
+	}
+	if len(out.Assignments) != 60 {
+		t.Fatalf("assignments = %d", len(out.Assignments))
+	}
+	if out.Scheme != "SDSL(theta=2)" {
+		t.Fatalf("scheme = %q", out.Scheme)
+	}
+	total := 0
+	for _, s := range out.GroupSizes {
+		total += s
+	}
+	if total != 60 {
+		t.Fatalf("group sizes sum to %d", total)
+	}
+}
+
+func TestRunAllSelectors(t *testing.T) {
+	for _, sel := range []string{"greedy", "random", "min-dist"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-caches", "40", "-k", "4", "-landmarks", sel}, &buf); err != nil {
+			t.Fatalf("selector %s: %v", sel, err)
+		}
+	}
+}
+
+func TestRunEuclideanScheme(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-caches", "40", "-k", "4", "-scheme", "euclidean", "-dim", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scheme", "bogus"}, &buf); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if err := run([]string{"-landmarks", "bogus"}, &buf); err == nil {
+		t.Fatal("unknown selector accepted")
+	}
+	if err := run([]string{"-caches", "10", "-k", "50"}, &buf); err == nil {
+		t.Fatal("k > caches accepted")
+	}
+}
+
+func TestClampLandmarks(t *testing.T) {
+	tests := []struct {
+		l, m, n      int
+		wantL, wantM int
+	}{
+		{25, 4, 500, 25, 4},
+		{25, 4, 40, 11, 4},
+		{25, 0, 100, 25, 1},
+		{1, 1, 1, 2, 1},
+	}
+	for _, tt := range tests {
+		l, m := clampLandmarks(tt.l, tt.m, tt.n)
+		if l != tt.wantL || m != tt.wantM {
+			t.Errorf("clampLandmarks(%d,%d,%d) = (%d,%d), want (%d,%d)",
+				tt.l, tt.m, tt.n, l, m, tt.wantL, tt.wantM)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Command topogen generates a transit-stub topology, places an edge cache
+// network on it, and prints structural and RTT statistics. It is the quick
+// way to inspect the Internet model the experiments run on.
+//
+// Usage:
+//
+//	topogen -caches 500 -seed 7
+//	topogen -caches 100 -json       # machine-readable summary
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	ecg "edgecachegroups"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+// summary is the machine-readable output shape.
+type summary struct {
+	Nodes        int     `json:"nodes"`
+	Edges        int     `json:"edges"`
+	TransitNodes int     `json:"transitNodes"`
+	StubNodes    int     `json:"stubNodes"`
+	Caches       int     `json:"caches"`
+	MeanPairRTT  float64 `json:"meanPairRTTms"`
+	MinOriginRTT float64 `json:"minOriginRTTms"`
+	MedOriginRTT float64 `json:"medianOriginRTTms"`
+	MaxOriginRTT float64 `json:"maxOriginRTTms"`
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	var (
+		caches   = fs.Int("caches", 500, "number of edge caches to place")
+		seed     = fs.Int64("seed", 1, "random seed")
+		asJSON   = fs.Bool("json", false, "emit a JSON summary instead of text")
+		transit  = fs.Int("transit-domains", 0, "override number of transit domains (0 = default)")
+		stubsPer = fs.Int("stub-domains", 0, "override stub domains per transit node (0 = default)")
+		dump     = fs.String("dump", "", "write the generated topology as JSON to this file")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	src := ecg.NewRand(*seed)
+	params := ecg.DefaultTransitStubParams()
+	if *transit > 0 {
+		params.TransitDomains = *transit
+	}
+	if *stubsPer > 0 {
+		params.StubDomainsPerTransitNode = *stubsPer
+	}
+	graph, err := ecg.GenerateTransitStub(params, src.Split("topo"))
+	if err != nil {
+		return fmt.Errorf("generate topology: %w", err)
+	}
+	nw, err := ecg.NewNetwork(graph, ecg.PlaceParams{NumCaches: *caches}, src.Split("place"))
+	if err != nil {
+		return fmt.Errorf("place network: %w", err)
+	}
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			return fmt.Errorf("create dump file: %w", err)
+		}
+		if err := graph.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("dump topology: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close dump file: %w", err)
+		}
+	}
+
+	origin := make([]float64, *caches)
+	for i := 0; i < *caches; i++ {
+		origin[i] = nw.DistToOrigin(ecg.CacheIndex(i))
+	}
+	sort.Float64s(origin)
+
+	s := summary{
+		Nodes:        graph.NumNodes(),
+		Edges:        graph.NumEdges(),
+		TransitNodes: len(graph.NodesOfKind(ecg.KindTransit)),
+		StubNodes:    len(graph.NodesOfKind(ecg.KindStub)),
+		Caches:       *caches,
+		MeanPairRTT:  nw.MeanPairwiseDist(),
+		MinOriginRTT: origin[0],
+		MedOriginRTT: origin[len(origin)/2],
+		MaxOriginRTT: origin[len(origin)-1],
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(s)
+	}
+
+	fmt.Fprintf(w, "topology: %d nodes (%d transit, %d stub), %d edges\n",
+		s.Nodes, s.TransitNodes, s.StubNodes, s.Edges)
+	fmt.Fprintf(w, "network:  %d caches + origin on distinct stub routers\n", s.Caches)
+	fmt.Fprintf(w, "RTTs:     mean cache-pair %.1fms; cache->origin min/median/max %.1f/%.1f/%.1fms\n",
+		s.MeanPairRTT, s.MinOriginRTT, s.MedOriginRTT, s.MaxOriginRTT)
+
+	// Origin-RTT histogram, 10 buckets.
+	const buckets = 10
+	lo, hi := origin[0], origin[len(origin)-1]
+	if hi > lo {
+		counts := make([]int, buckets)
+		for _, d := range origin {
+			b := int(float64(buckets) * (d - lo) / (hi - lo))
+			if b >= buckets {
+				b = buckets - 1
+			}
+			counts[b]++
+		}
+		maxCount := 0
+		for _, c := range counts {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		fmt.Fprintln(w, "cache->origin RTT distribution:")
+		for b, c := range counts {
+			bars := 0
+			if maxCount > 0 {
+				bars = c * 40 / maxCount
+			}
+			fmt.Fprintf(w, "  %6.1f-%6.1fms %4d %s\n",
+				lo+float64(b)*(hi-lo)/buckets, lo+float64(b+1)*(hi-lo)/buckets, c,
+				repeatRune('#', bars))
+		}
+	}
+	return nil
+}
+
+func repeatRune(r byte, n int) string {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = r
+	}
+	return string(buf)
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTextOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-caches", "50", "-seed", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"topology:", "network:", "RTT distribution"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-caches", "50", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var s summary
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if s.Caches != 50 || s.Nodes == 0 || s.MeanPairRTT <= 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestRunDump(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "topo.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-caches", "30", "-dump", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"nodes"`) {
+		t.Fatal("dump file missing nodes")
+	}
+}
+
+func TestRunTooManyCaches(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-caches", "100000"}, &buf); err == nil {
+		t.Fatal("oversized placement accepted")
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-caches", "20", "-transit-domains", "2", "-stub-domains", "2", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var s summary
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.TransitNodes != 2*4 {
+		t.Fatalf("transit nodes = %d, want 8", s.TransitNodes)
+	}
+}

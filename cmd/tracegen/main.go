@@ -1,0 +1,130 @@
+// Command tracegen synthesizes the workload that drives the cooperative
+// edge cache simulator: a document catalog, per-cache request logs, and the
+// origin server's update log, written as JSON files.
+//
+// Usage:
+//
+//	tracegen -caches 500 -duration 600 -out /tmp/trace
+//	ls /tmp/trace   # catalog.json requests.jsonl updates.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	ecg "edgecachegroups"
+	"edgecachegroups/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		caches     = fs.Int("caches", 500, "number of edge caches")
+		duration   = fs.Float64("duration", 600, "trace duration in seconds")
+		rate       = fs.Float64("rate", 0.6, "request rate per cache (req/s)")
+		similarity = fs.Float64("similarity", 0.8, "cross-cache request similarity in [0,1]")
+		docs       = fs.Int("docs", 2000, "catalog size")
+		alpha      = fs.Float64("alpha", 0.8, "Zipf popularity exponent")
+		seed       = fs.Int64("seed", 1, "random seed")
+		outDir     = fs.String("out", ".", "output directory")
+		stats      = fs.Bool("stats", false, "print trace statistics after generation")
+		split      = fs.Bool("split", false, "also write one request log per cache (requests-<i>.jsonl)")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	src := ecg.NewRand(*seed)
+	catParams := ecg.DefaultCatalogParams()
+	catParams.NumDocuments = *docs
+	catParams.ZipfAlpha = *alpha
+	catalog, err := ecg.NewCatalog(catParams, src.Split("catalog"))
+	if err != nil {
+		return fmt.Errorf("build catalog: %w", err)
+	}
+	traceParams := ecg.TraceParams{
+		DurationSec:         *duration,
+		RequestRatePerCache: *rate,
+		Similarity:          *similarity,
+	}
+	requests, err := ecg.GenerateRequests(catalog, *caches, traceParams, src.Split("requests"))
+	if err != nil {
+		return fmt.Errorf("generate requests: %w", err)
+	}
+	updates, err := ecg.GenerateUpdates(catalog, *duration, src.Split("updates"))
+	if err != nil {
+		return fmt.Errorf("generate updates: %w", err)
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	if err := writeFile(filepath.Join(*outDir, "catalog.json"), func(f io.Writer) error {
+		return workload.WriteCatalogJSON(f, catalog)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(*outDir, "requests.jsonl"), func(f io.Writer) error {
+		return workload.WriteRequestsJSONL(f, requests)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(*outDir, "updates.jsonl"), func(f io.Writer) error {
+		return workload.WriteUpdatesJSONL(f, updates)
+	}); err != nil {
+		return err
+	}
+
+	if *split {
+		perCache := make(map[int][]ecg.Request)
+		for _, r := range requests {
+			perCache[int(r.Cache)] = append(perCache[int(r.Cache)], r)
+		}
+		for i := 0; i < *caches; i++ {
+			reqs := perCache[i]
+			name := filepath.Join(*outDir, fmt.Sprintf("requests-%d.jsonl", i))
+			if err := writeFile(name, func(f io.Writer) error {
+				return workload.WriteRequestsJSONL(f, reqs)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "wrote %d documents, %d requests, %d updates to %s\n",
+		catalog.NumDocuments(), len(requests), len(updates), *outDir)
+	if *stats {
+		st, err := workload.AnalyzeRequests(requests)
+		if err != nil {
+			return fmt.Errorf("analyze trace: %w", err)
+		}
+		fmt.Fprintf(w, "stats: %s\n", st)
+	}
+	return nil
+}
+
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package ecg_test
+
+import (
+	"testing"
+
+	ecg "edgecachegroups"
+)
+
+// TestFullPipelineThroughFacade runs the complete library pipeline using
+// only the public API: topology -> placement -> probing -> group formation
+// -> simulation -> metrics.
+func TestFullPipelineThroughFacade(t *testing.T) {
+	src := ecg.NewRand(42)
+
+	graph, err := ecg.GenerateTransitStub(ecg.DefaultTransitStubParams(), src.Split("topo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := ecg.NewNetwork(graph, ecg.PlaceParams{NumCaches: 80}, src.Split("place"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prober, err := ecg.NewProber(nw, ecg.DefaultProbeConfig(), src.Split("probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// SDSL group formation.
+	gf, err := ecg.NewCoordinator(nw, prober, ecg.SDSL(10, 4, 1.0), src.Split("gf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := gf.FormGroups(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumGroups() != 8 || plan.NumCaches() != 80 {
+		t.Fatalf("plan = %d groups / %d caches", plan.NumGroups(), plan.NumCaches())
+	}
+	cost := ecg.AvgGroupInteractionCost(nw, plan.Groups())
+	if cost <= 0 {
+		t.Fatalf("GICost = %v", cost)
+	}
+
+	// Workload + simulation.
+	catalog, err := ecg.NewCatalog(ecg.DefaultCatalogParams(), src.Split("catalog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := ecg.TraceParams{DurationSec: 60, RequestRatePerCache: 1, Similarity: 0.8}
+	reqs, err := ecg.GenerateRequests(catalog, 80, tp, src.Split("reqs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups, err := ecg.GenerateUpdates(catalog, 60, src.Split("ups"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := ecg.NewSimulator(nw, plan.Groups(), catalog, ecg.DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(reqs, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests() == 0 || rep.MeanLatency() <= 0 {
+		t.Fatalf("report = %s", rep)
+	}
+}
+
+// TestFacadeSchemeConstructors sanity-checks the re-exported scheme
+// constructors and selectors.
+func TestFacadeSchemeConstructors(t *testing.T) {
+	if ecg.SL(25, 4).Name() != "SL" {
+		t.Fatal("SL name mismatch")
+	}
+	if ecg.SDSL(25, 4, 2).Theta != 2 {
+		t.Fatal("SDSL theta mismatch")
+	}
+	eu := ecg.EuclideanScheme(25, 4, 5)
+	if eu.Representation != ecg.RepresentationEuclidean {
+		t.Fatal("Euclidean representation mismatch")
+	}
+	var sel ecg.LandmarkSelector = ecg.GreedyLandmarks{}
+	if sel.Name() != "greedy" {
+		t.Fatal("selector alias broken")
+	}
+}
+
+// TestFacadeExperiments runs one scaled-down figure through the facade.
+func TestFacadeExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	o := ecg.ExperimentOptions{Seed: 3, Scale: 0.15, Parallelism: 2, Trials: 1}
+	res, err := ecg.Fig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no sweep points")
+	}
+}
+
+// TestEndpointHelpers checks the probe endpoint helpers.
+func TestEndpointHelpers(t *testing.T) {
+	if !ecg.OriginEndpoint().IsOrigin() {
+		t.Fatal("OriginEndpoint not origin")
+	}
+	if ecg.CacheEndpoint(3).CacheIndex() != 3 {
+		t.Fatal("CacheEndpoint index mismatch")
+	}
+}

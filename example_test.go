@@ -1,0 +1,117 @@
+package ecg_test
+
+import (
+	"fmt"
+
+	ecg "edgecachegroups"
+)
+
+// Example demonstrates the minimal group formation pipeline: build a
+// topology, place the edge cache network, probe landmarks, and form
+// cooperative groups with the SL scheme.
+func Example() {
+	src := ecg.NewRand(7)
+	graph, err := ecg.GenerateTransitStub(ecg.DefaultTransitStubParams(), src.Split("topology"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	nw, err := ecg.NewNetwork(graph, ecg.PlaceParams{NumCaches: 60}, src.Split("placement"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	prober, err := ecg.NewProber(nw, ecg.DefaultProbeConfig(), src.Split("probe"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	gf, err := ecg.NewCoordinator(nw, prober, ecg.SL(8, 4), src.Split("gf"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	plan, err := gf.FormGroups(6)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("groups: %d, caches: %d\n", plan.NumGroups(), plan.NumCaches())
+	// Output:
+	// groups: 6, caches: 60
+}
+
+// ExampleSDSL shows the server-distance-sensitive scheme: a larger theta
+// concentrates more, smaller groups near the origin server.
+func ExampleSDSL() {
+	cfg := ecg.SDSL(25, 4, 1.5)
+	fmt.Println(cfg.Name())
+	fmt.Println(cfg.Theta)
+	// Output:
+	// SDSL(theta=1.5)
+	// 1.5
+}
+
+// ExampleGroupInteractionCost evaluates a hand-made partition on a tiny
+// explicit topology.
+func ExampleGroupInteractionCost() {
+	g := ecg.NewGraph()
+	origin := g.AddNode(ecg.KindStub, 0)
+	a := g.AddNode(ecg.KindStub, 0)
+	b := g.AddNode(ecg.KindStub, 0)
+	if err := g.AddEdge(origin, a, 10); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := g.AddEdge(a, b, 4); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	nw, err := ecg.NewNetworkAt(g, origin, []ecg.NodeID{a, b})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	cost := ecg.GroupInteractionCost(nw, []ecg.CacheIndex{0, 1})
+	fmt.Printf("%.1f ms\n", cost)
+	// Output:
+	// 4.0 ms
+}
+
+// ExampleCoordinator_FormGroups runs SDSL and reports how group sizes vary
+// with distance from the origin server.
+func ExampleCoordinator_FormGroups() {
+	src := ecg.NewRand(21)
+	graph, err := ecg.GenerateTransitStub(ecg.DefaultTransitStubParams(), src.Split("topology"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	nw, err := ecg.NewNetwork(graph, ecg.PlaceParams{NumCaches: 100}, src.Split("placement"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	prober, err := ecg.NewProber(nw, ecg.DefaultProbeConfig(), src.Split("probe"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	gf, err := ecg.NewCoordinator(nw, prober, ecg.SDSL(10, 4, 2), src.Split("gf"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	plan, err := gf.FormGroups(10)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	total := 0
+	for _, s := range plan.Sizes() {
+		total += s
+	}
+	fmt.Printf("covered: %d caches in %d groups\n", total, plan.NumGroups())
+	// Output:
+	// covered: 100 caches in 10 groups
+}

@@ -1,0 +1,125 @@
+// Cooperative caching under failures and membership churn.
+//
+// The program forms SDSL groups, then demonstrates two operational
+// features of the library:
+//
+//  1. failure injection — a fraction of the caches goes down; the
+//     simulator routes their clients to the origin and excludes them from
+//     cooperative lookups. The report shows the latency and hit-rate
+//     degradation.
+//
+//  2. incremental membership — a new cache joins the network; instead of
+//     re-clustering everything, it probes the existing landmarks and is
+//     assigned to the nearest group's center (Plan.AssignPoint).
+//
+//     go run ./examples/cooperative
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ecg "edgecachegroups"
+)
+
+const (
+	numCaches = 150
+	numGroups = 15
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	src := ecg.NewRand(33)
+
+	graph, err := ecg.GenerateTransitStub(ecg.DefaultTransitStubParams(), src.Split("topology"))
+	if err != nil {
+		return fmt.Errorf("generate topology: %w", err)
+	}
+	// Place one extra cache: index numCaches acts as the late joiner.
+	nw, err := ecg.NewNetwork(graph, ecg.PlaceParams{NumCaches: numCaches + 1}, src.Split("placement"))
+	if err != nil {
+		return fmt.Errorf("place network: %w", err)
+	}
+	prober, err := ecg.NewProber(nw, ecg.DefaultProbeConfig(), src.Split("probe"))
+	if err != nil {
+		return fmt.Errorf("build prober: %w", err)
+	}
+	gf, err := ecg.NewCoordinator(nw, prober, ecg.SDSL(12, 4, 1.0), src.Split("coordinator"))
+	if err != nil {
+		return fmt.Errorf("build coordinator: %w", err)
+	}
+	plan, err := gf.FormGroups(numGroups)
+	if err != nil {
+		return fmt.Errorf("form groups: %w", err)
+	}
+
+	catalog, err := ecg.NewCatalog(ecg.DefaultCatalogParams(), src.Split("catalog"))
+	if err != nil {
+		return fmt.Errorf("build catalog: %w", err)
+	}
+	traceParams := ecg.TraceParams{DurationSec: 240, RequestRatePerCache: 1, Similarity: 0.85}
+	requests, err := ecg.GenerateRequests(catalog, numCaches+1, traceParams, src.Split("requests"))
+	if err != nil {
+		return fmt.Errorf("generate requests: %w", err)
+	}
+	updates, err := ecg.GenerateUpdates(catalog, traceParams.DurationSec, src.Split("updates"))
+	if err != nil {
+		return fmt.Errorf("generate updates: %w", err)
+	}
+
+	// Part 1: failure injection sweep.
+	fmt.Println("=== failure injection ===")
+	fmt.Printf("%-14s %12s %12s %12s %12s\n", "failed caches", "mean (ms)", "local", "group", "origin")
+	for _, failed := range []int{0, 8, 15, 30} {
+		cfg := ecg.DefaultSimConfig()
+		idx, err := src.SplitN("failures", failed).SampleWithoutReplacement(numCaches, failed)
+		if err != nil {
+			return fmt.Errorf("pick failed caches: %w", err)
+		}
+		for _, f := range idx {
+			cfg.FailedCaches = append(cfg.FailedCaches, ecg.CacheIndex(f))
+		}
+		sim, err := ecg.NewSimulator(nw, plan.Groups(), catalog, cfg)
+		if err != nil {
+			return fmt.Errorf("build simulator: %w", err)
+		}
+		rep, err := sim.Run(requests, updates)
+		if err != nil {
+			return fmt.Errorf("run simulation: %w", err)
+		}
+		l, g, o := rep.HitRates()
+		fmt.Printf("%-14d %12.1f %11.1f%% %11.1f%% %11.1f%%\n",
+			failed, rep.MeanLatency(), l*100, g*100, o*100)
+	}
+
+	// Part 2: incremental membership. The joiner probes the plan's
+	// landmarks to build its feature vector, then joins the nearest group
+	// without re-clustering the other caches.
+	fmt.Println("\n=== incremental join ===")
+	joiner := ecg.CacheIndex(numCaches)
+	feature, err := prober.MeasureTo(ecg.CacheEndpoint(joiner), plan.Landmarks)
+	if err != nil {
+		return fmt.Errorf("probe landmarks for joiner: %w", err)
+	}
+	group, err := plan.AssignPoint(ecg.FeatureVector(feature))
+	if err != nil {
+		return fmt.Errorf("assign joiner: %w", err)
+	}
+	members, err := plan.Group(group)
+	if err != nil {
+		return fmt.Errorf("read group: %w", err)
+	}
+	var sum float64
+	for _, m := range members {
+		sum += nw.Dist(joiner, m)
+	}
+	fmt.Printf("cache %d joins group %d (%d members, mean RTT to members %.1fms)\n",
+		joiner, group, len(members), sum/float64(len(members)))
+	fmt.Printf("network-wide mean cache-pair RTT for comparison: %.1fms\n", nw.MeanPairwiseDist())
+	return nil
+}

@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+// TestRunSucceeds smoke-tests the example end to end.
+func TestRunSucceeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example runs a full pipeline")
+	}
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

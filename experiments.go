@@ -1,0 +1,108 @@
+package ecg
+
+import (
+	"edgecachegroups/internal/experiments"
+)
+
+// Experiment harness: every figure of the paper's evaluation section plus
+// ablations, re-exported from the internal experiments package.
+type (
+	// ExperimentOptions controls experiment scale, seed, trials, and
+	// parallelism.
+	ExperimentOptions = experiments.Options
+	// ExperimentTable is a rendered experiment result.
+	ExperimentTable = experiments.Table
+
+	// Fig3Result holds the Figure 3 series (latency vs group size).
+	Fig3Result = experiments.Fig3Result
+	// Fig4Result holds the Figure 4 series (landmark selection vs N).
+	Fig4Result = experiments.Fig4Result
+	// Fig5Result holds the Figure 5 series (landmark selection vs K).
+	Fig5Result = experiments.Fig5Result
+	// Fig6Result holds the Figure 6 series (number of landmarks).
+	Fig6Result = experiments.Fig6Result
+	// Fig7Result holds the Figure 7 series (feature vectors vs GNP).
+	Fig7Result = experiments.Fig7Result
+	// Fig8Result holds the Figure 8 series (SL vs SDSL, varying N).
+	Fig8Result = experiments.Fig8Result
+	// Fig9Result holds the Figure 9 series (SL vs SDSL, varying K).
+	Fig9Result = experiments.Fig9Result
+)
+
+// DefaultExperimentOptions returns full-scale, single-trial experiment
+// options.
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
+// Fig3 reproduces Figure 3 of the paper.
+func Fig3(o ExperimentOptions) (*Fig3Result, error) { return experiments.Fig3(o) }
+
+// Fig4 reproduces Figure 4 of the paper.
+func Fig4(o ExperimentOptions) (*Fig4Result, error) { return experiments.Fig4(o) }
+
+// Fig5 reproduces Figure 5 of the paper.
+func Fig5(o ExperimentOptions) (*Fig5Result, error) { return experiments.Fig5(o) }
+
+// Fig6 reproduces Figure 6 of the paper.
+func Fig6(o ExperimentOptions) (*Fig6Result, error) { return experiments.Fig6(o) }
+
+// Fig7 reproduces Figure 7 of the paper.
+func Fig7(o ExperimentOptions) (*Fig7Result, error) { return experiments.Fig7(o) }
+
+// Fig8 reproduces Figure 8 of the paper.
+func Fig8(o ExperimentOptions) (*Fig8Result, error) { return experiments.Fig8(o) }
+
+// Fig9 reproduces Figure 9 of the paper.
+func Fig9(o ExperimentOptions) (*Fig9Result, error) { return experiments.Fig9(o) }
+
+// Extension studies beyond the paper's figures.
+type (
+	// RepresentationResult compares feature vectors, GNP, and Vivaldi.
+	RepresentationResult = experiments.RepresentationResult
+	// BeaconResult compares cooperative lookup mechanisms.
+	BeaconResult = experiments.BeaconResult
+	// PolicyResult compares cache replacement policies.
+	PolicyResult = experiments.PolicyResult
+	// SubstrateResult checks robustness across topology models.
+	SubstrateResult = experiments.SubstrateResult
+	// OverheadResult trades probing cost against accuracy.
+	OverheadResult = experiments.OverheadResult
+	// FreshnessResult quantifies cooperative push invalidation savings.
+	FreshnessResult = experiments.FreshnessResult
+	// ThetaResult sweeps the SDSL sensitivity.
+	ThetaResult = experiments.ThetaResult
+)
+
+// RepresentationStudy compares the three position representations.
+func RepresentationStudy(o ExperimentOptions) (*RepresentationResult, error) {
+	return experiments.RepresentationStudy(o)
+}
+
+// AblationBeacons compares multicast vs beacon-point cooperation.
+func AblationBeacons(o ExperimentOptions) (*BeaconResult, error) {
+	return experiments.AblationBeacons(o)
+}
+
+// AblationCachePolicy compares utility-based replacement vs LRU.
+func AblationCachePolicy(o ExperimentOptions) (*PolicyResult, error) {
+	return experiments.AblationCachePolicy(o)
+}
+
+// SubstrateStudy repeats the headline comparisons on a Waxman topology.
+func SubstrateStudy(o ExperimentOptions) (*SubstrateResult, error) {
+	return experiments.SubstrateStudy(o)
+}
+
+// ProbeOverheadStudy trades the probing bill against clustering accuracy.
+func ProbeOverheadStudy(o ExperimentOptions) (*OverheadResult, error) {
+	return experiments.ProbeOverheadStudy(o)
+}
+
+// FreshnessStudy quantifies cooperative push-invalidation savings.
+func FreshnessStudy(o ExperimentOptions) (*FreshnessResult, error) {
+	return experiments.FreshnessStudy(o)
+}
+
+// AblationTheta sweeps the SDSL sensitivity exponent.
+func AblationTheta(o ExperimentOptions) (*ThetaResult, error) {
+	return experiments.AblationTheta(o)
+}

@@ -1,0 +1,168 @@
+package ecg
+
+import (
+	"io"
+
+	"edgecachegroups/internal/cache"
+	"edgecachegroups/internal/cluster"
+	"edgecachegroups/internal/core"
+	"edgecachegroups/internal/landmark"
+	"edgecachegroups/internal/netsim"
+	"edgecachegroups/internal/topology"
+	"edgecachegroups/internal/workload"
+)
+
+// Extensions beyond the paper's core pipeline: an alternative flat
+// topology model, topology serialization, an alternative clustering
+// algorithm, clustering quality diagnostics, flash-crowd workloads, and
+// per-group simulation statistics.
+
+// Waxman topology (flat random Internet model).
+type (
+	// WaxmanParams configures the flat Waxman topology generator.
+	WaxmanParams = topology.WaxmanParams
+)
+
+// DefaultWaxmanParams returns a 600-router Waxman configuration comparable
+// to the default transit-stub topology.
+func DefaultWaxmanParams() WaxmanParams { return topology.DefaultWaxmanParams() }
+
+// GenerateWaxman builds a connected flat Waxman topology.
+func GenerateWaxman(params WaxmanParams, src *Rand) (*Graph, error) {
+	return topology.GenerateWaxman(params, src)
+}
+
+// WriteGraphJSON serializes a topology graph to w.
+func WriteGraphJSON(w io.Writer, g *Graph) error { return g.WriteJSON(w) }
+
+// ReadGraphJSON deserializes a topology graph written by WriteGraphJSON.
+func ReadGraphJSON(r io.Reader) (*Graph, error) { return topology.ReadGraphJSON(r) }
+
+// Clustering algorithm selection.
+type (
+	// ClusterAlgorithm selects K-means or K-medoids for the clustering
+	// step.
+	ClusterAlgorithm = core.Algorithm
+)
+
+// Clustering algorithms.
+const (
+	AlgoKMeans   = core.AlgoKMeans
+	AlgoKMedoids = core.AlgoKMedoids
+)
+
+// Silhouette returns the mean silhouette coefficient of a partition in the
+// clustered feature space — a clustering-quality diagnostic in [-1, 1].
+func Silhouette(points []FeatureVector, assignments []int, k int) (float64, error) {
+	return cluster.Silhouette(points, assignments, k)
+}
+
+// SuggestK runs the clustering for k = 1..kMax and returns the elbow of
+// the within-cluster-SS curve plus the curve itself — a starting point for
+// choosing the paper's "pre-specified parameter" K.
+func SuggestK(points []FeatureVector, kMax int, src *Rand) (int, []float64, error) {
+	return cluster.SuggestK(points, kMax, cluster.UniformSeeder{}, cluster.DefaultOptions(), src)
+}
+
+// Flash-crowd workloads.
+type (
+	// FlashCrowdParams describes a flash-crowd episode.
+	FlashCrowdParams = workload.FlashCrowdParams
+	// FlashCrowd is a materialized flash-crowd episode.
+	FlashCrowd = workload.FlashCrowd
+)
+
+// NewFlashCrowd draws the hot document set for a flash-crowd episode.
+func NewFlashCrowd(c *Catalog, params FlashCrowdParams, src *Rand) (*FlashCrowd, error) {
+	return workload.NewFlashCrowd(c, params, src)
+}
+
+// Per-group simulation statistics.
+type (
+	// GroupStat aggregates per-cooperative-group simulation counters.
+	GroupStat = netsim.GroupStat
+)
+
+// Cache replacement policies.
+type (
+	// CachePolicy selects the per-cache replacement policy.
+	CachePolicy = cache.Policy
+)
+
+// Replacement policies.
+const (
+	PolicyUtility = cache.PolicyUtility
+	PolicyLRU     = cache.PolicyLRU
+)
+
+// VivaldiScheme returns the SL pipeline with Vivaldi spring-relaxation
+// coordinates instead of raw feature vectors (paper reference [3]).
+func VivaldiScheme(l, m, dim int) SchemeConfig { return core.VivaldiScheme(l, m, dim) }
+
+// RepresentationVivaldi selects Vivaldi coordinates for clustering.
+const RepresentationVivaldi = core.Vivaldi
+
+// OracleLandmarks is an idealized landmark selector with free global
+// knowledge of true RTTs — an accuracy ceiling for ablations, not a
+// deployable strategy.
+type OracleLandmarks = landmark.Oracle
+
+// Group-size balancing.
+type (
+	// BalanceOptions constrains group sizes after clustering.
+	BalanceOptions = core.BalanceOptions
+)
+
+// Trace statistics.
+type (
+	// TraceStats summarizes a request log.
+	TraceStats = workload.TraceStats
+)
+
+// AnalyzeRequests computes summary statistics for a request log.
+func AnalyzeRequests(reqs []Request) (*TraceStats, error) {
+	return workload.AnalyzeRequests(reqs)
+}
+
+// Router-level paths.
+type (
+	// PathTree is a single-source shortest-path tree with extractable
+	// router-level paths.
+	PathTree = topology.ShortestPathTree
+)
+
+// Group maintenance.
+type (
+	// Maintainer keeps a Plan aligned with drifting network conditions.
+	Maintainer = core.Maintainer
+	// MaintainerConfig tunes maintenance rounds.
+	MaintainerConfig = core.MaintainerConfig
+	// MaintainerEvent describes one maintenance round's outcome.
+	MaintainerEvent = core.MaintainerEvent
+	// FeatureSource measures a cache's current feature vector.
+	FeatureSource = core.FeatureSource
+)
+
+// DefaultMaintainerConfig returns sensible maintenance defaults.
+func DefaultMaintainerConfig() MaintainerConfig { return core.DefaultMaintainerConfig() }
+
+// NewMaintainer builds a group maintainer over plan.
+func NewMaintainer(plan *Plan, source FeatureSource, recluster func() (*Plan, error), cfg MaintainerConfig, src *Rand) (*Maintainer, error) {
+	return core.NewMaintainer(plan, source, recluster, cfg, src)
+}
+
+// Request tracing.
+type (
+	// RequestTrace describes one served request for SimConfig.TraceFn.
+	RequestTrace = netsim.RequestTrace
+	// RequestOutcome classifies a request's routing.
+	RequestOutcome = netsim.Outcome
+)
+
+// Request outcomes.
+const (
+	OutcomeLocal    = netsim.OutcomeLocal
+	OutcomeGroup    = netsim.OutcomeGroup
+	OutcomeOrigin   = netsim.OutcomeOrigin
+	OutcomeFailover = netsim.OutcomeFailover
+)

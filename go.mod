@@ -1,0 +1,3 @@
+module edgecachegroups
+
+go 1.22

@@ -1,0 +1,288 @@
+// Package cache implements an edge cache node with the utility-based
+// document placement and replacement scheme of the Cache Clouds system
+// (Ramaswamy, Liu & Iyengar, ICDCS 2005 — reference [7] of the paper).
+//
+// The utility of a cached document combines how often it is accessed, how
+// expensive a miss is for this cache, how large the document is, and how
+// frequently the origin updates it:
+//
+//	utility = (accessRate × missPenalty) / (sizeKB × (1 + updateRate))
+//
+// On capacity pressure the lowest-utility entries are evicted first. Cached
+// copies carry the document version observed at fetch time; a lookup with a
+// newer current version is a consistency miss (the origin has updated the
+// document) and drops the stale copy.
+package cache
+
+import (
+	"errors"
+	"fmt"
+
+	"edgecachegroups/internal/workload"
+)
+
+// Policy selects the replacement policy.
+type Policy int
+
+// Replacement policies.
+const (
+	// PolicyUtility is the Cache Clouds utility-based replacement scheme
+	// (the paper's caches use this).
+	PolicyUtility Policy = iota + 1
+	// PolicyLRU is the least-recently-used baseline the Cache Clouds paper
+	// compares against.
+	PolicyLRU
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyUtility:
+		return "utility"
+	case PolicyLRU:
+		return "lru"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config configures one edge cache node.
+type Config struct {
+	// CapacityKB is the storage budget.
+	CapacityKB float64
+	// MissPenaltyMS is the cost of re-fetching from the origin (typically
+	// ~2× the cache's RTT to the origin server). It weights utility so
+	// far-away caches hold on to documents harder.
+	MissPenaltyMS float64
+	// MinAgeSec guards the access-rate estimate of very young entries
+	// (age is clamped below to this value). Zero means the default (1s).
+	MinAgeSec float64
+	// Policy selects the replacement policy; zero means PolicyUtility.
+	Policy Policy
+}
+
+// Validate reports whether the config is usable.
+func (c Config) Validate() error {
+	if c.CapacityKB <= 0 {
+		return fmt.Errorf("cache: CapacityKB must be > 0, got %v", c.CapacityKB)
+	}
+	if c.MissPenaltyMS <= 0 {
+		return fmt.Errorf("cache: MissPenaltyMS must be > 0, got %v", c.MissPenaltyMS)
+	}
+	if c.MinAgeSec < 0 {
+		return fmt.Errorf("cache: MinAgeSec must be >= 0, got %v", c.MinAgeSec)
+	}
+	switch c.Policy {
+	case 0, PolicyUtility, PolicyLRU:
+	default:
+		return fmt.Errorf("cache: unknown policy %v", c.Policy)
+	}
+	return nil
+}
+
+// entry is one cached document copy.
+type entry struct {
+	doc        workload.DocID
+	sizeKB     float64
+	updateRate float64
+	version    int64
+	insertedAt float64
+	accesses   int
+	lastAccess float64
+}
+
+// utility computes the Cache Clouds utility of e at time now.
+func (e *entry) utility(now, minAge, missPenalty float64) float64 {
+	age := now - e.insertedAt
+	if age < minAge {
+		age = minAge
+	}
+	accessRate := float64(e.accesses+1) / age
+	return (accessRate * missPenalty) / (e.sizeKB * (1 + e.updateRate))
+}
+
+// Stats counts cache-local events.
+type Stats struct {
+	// Hits is the number of fresh local hits.
+	Hits int64
+	// Misses is the number of lookups that found nothing.
+	Misses int64
+	// StaleDrops is the number of lookups that found a stale copy
+	// (consistency miss).
+	StaleDrops int64
+	// Evictions is the number of entries displaced by capacity pressure.
+	Evictions int64
+	// Inserts is the number of admitted documents.
+	Inserts int64
+}
+
+// EdgeCache is a single cache node. It is not safe for concurrent use; the
+// simulator's event loop serializes access.
+type EdgeCache struct {
+	cfg     Config
+	entries map[workload.DocID]*entry
+	usedKB  float64
+	stats   Stats
+
+	// onEvict, when set, is invoked for every entry leaving the cache
+	// (eviction or stale drop) so a group directory can stay consistent.
+	onEvict func(workload.DocID)
+}
+
+// New builds an empty edge cache.
+func New(cfg Config) (*EdgeCache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MinAgeSec == 0 {
+		cfg.MinAgeSec = 1
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = PolicyUtility
+	}
+	return &EdgeCache{
+		cfg:     cfg,
+		entries: make(map[workload.DocID]*entry),
+	}, nil
+}
+
+// SetEvictionHook registers fn to be called whenever a document leaves the
+// cache for any reason other than an explicit Drop by the owner of the
+// hook.
+func (ec *EdgeCache) SetEvictionHook(fn func(workload.DocID)) { ec.onEvict = fn }
+
+// Stats returns a copy of the counters.
+func (ec *EdgeCache) Stats() Stats { return ec.stats }
+
+// UsedKB returns the occupied storage.
+func (ec *EdgeCache) UsedKB() float64 { return ec.usedKB }
+
+// Len returns the number of cached documents.
+func (ec *EdgeCache) Len() int { return len(ec.entries) }
+
+// Contains reports whether doc is cached at exactly version (fresh), with
+// no side effects on statistics or entry state. Used for cooperative
+// lookups by group peers.
+func (ec *EdgeCache) Contains(doc workload.DocID, version int64) bool {
+	e, ok := ec.entries[doc]
+	return ok && e.version == version
+}
+
+// Lookup performs a client-driven lookup at time nowSec against the
+// current document version. It returns true on a fresh hit. Stale copies
+// are dropped and counted as consistency misses.
+func (ec *EdgeCache) Lookup(doc workload.DocID, version int64, nowSec float64) bool {
+	e, ok := ec.entries[doc]
+	if !ok {
+		ec.stats.Misses++
+		return false
+	}
+	if e.version != version {
+		ec.removeEntry(e, true)
+		ec.stats.StaleDrops++
+		ec.stats.Misses++
+		return false
+	}
+	e.accesses++
+	e.lastAccess = nowSec
+	ec.stats.Hits++
+	return true
+}
+
+// ErrTooLarge is returned when a document exceeds the cache capacity
+// outright.
+var ErrTooLarge = errors.New("cache: document larger than capacity")
+
+// Insert admits a document copy fetched at time nowSec with the given
+// version, evicting low-utility entries as needed. A document larger than
+// the entire cache is rejected with ErrTooLarge. Inserting a document that
+// is already cached refreshes its version and metadata.
+func (ec *EdgeCache) Insert(d workload.Document, version int64, nowSec float64) error {
+	if d.SizeKB <= 0 {
+		return fmt.Errorf("cache: document %d has non-positive size %v", d.ID, d.SizeKB)
+	}
+	if d.SizeKB > ec.cfg.CapacityKB {
+		return fmt.Errorf("cache: document %d (%.1fKB > %.1fKB): %w", d.ID, d.SizeKB, ec.cfg.CapacityKB, ErrTooLarge)
+	}
+	if old, ok := ec.entries[d.ID]; ok {
+		// Refresh in place; treat as a re-insert at the new version.
+		old.version = version
+		old.insertedAt = nowSec
+		old.accesses = 0
+		old.lastAccess = nowSec
+		return nil
+	}
+	for ec.usedKB+d.SizeKB > ec.cfg.CapacityKB {
+		if !ec.evictOne(nowSec) {
+			return fmt.Errorf("cache: cannot make room for document %d", d.ID)
+		}
+	}
+	ec.entries[d.ID] = &entry{
+		doc:        d.ID,
+		sizeKB:     d.SizeKB,
+		updateRate: d.UpdateRatePerSec,
+		version:    version,
+		insertedAt: nowSec,
+		lastAccess: nowSec,
+	}
+	ec.usedKB += d.SizeKB
+	ec.stats.Inserts++
+	return nil
+}
+
+// Invalidate drops doc if cached (push-based consistency). It reports
+// whether a copy was present.
+func (ec *EdgeCache) Invalidate(doc workload.DocID) bool {
+	e, ok := ec.entries[doc]
+	if !ok {
+		return false
+	}
+	ec.removeEntry(e, true)
+	return true
+}
+
+// evictOne removes the replacement-policy victim. It returns false when
+// the cache is already empty.
+func (ec *EdgeCache) evictOne(nowSec float64) bool {
+	var victim *entry
+	var victimScore float64
+	for _, e := range ec.entries {
+		var score float64
+		if ec.cfg.Policy == PolicyLRU {
+			score = e.lastAccess
+		} else {
+			score = e.utility(nowSec, ec.cfg.MinAgeSec, ec.cfg.MissPenaltyMS)
+		}
+		if victim == nil || score < victimScore || (score == victimScore && e.doc < victim.doc) {
+			victim, victimScore = e, score
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	ec.removeEntry(victim, true)
+	ec.stats.Evictions++
+	return true
+}
+
+func (ec *EdgeCache) removeEntry(e *entry, notify bool) {
+	delete(ec.entries, e.doc)
+	ec.usedKB -= e.sizeKB
+	if ec.usedKB < 0 {
+		ec.usedKB = 0
+	}
+	if notify && ec.onEvict != nil {
+		ec.onEvict(e.doc)
+	}
+}
+
+// Utility exposes the current utility of a cached document for tests and
+// diagnostics. The boolean result is false when the document is not
+// cached.
+func (ec *EdgeCache) Utility(doc workload.DocID, nowSec float64) (float64, bool) {
+	e, ok := ec.entries[doc]
+	if !ok {
+		return 0, false
+	}
+	return e.utility(nowSec, ec.cfg.MinAgeSec, ec.cfg.MissPenaltyMS), true
+}

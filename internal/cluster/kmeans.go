@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"fmt"
+
+	"edgecachegroups/internal/simrand"
+)
+
+// Options tunes the K-means iteration (paper §3.3).
+type Options struct {
+	// MaxIterations bounds the iterative phase. Zero means the default (100).
+	MaxIterations int
+	// ReassignFrac is the termination threshold: iteration stops once the
+	// fraction of points reassigned in a round is <= ReassignFrac. The paper
+	// terminates when reassignments "become minimal"; the default is 0
+	// (strict convergence).
+	ReassignFrac float64
+}
+
+// DefaultOptions returns the options used in the experiments.
+func DefaultOptions() Options {
+	return Options{MaxIterations: 100, ReassignFrac: 0}
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 100
+	}
+	return o
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if o.MaxIterations < 0 {
+		return fmt.Errorf("cluster: MaxIterations must be >= 0, got %d", o.MaxIterations)
+	}
+	if o.ReassignFrac < 0 || o.ReassignFrac >= 1 {
+		return fmt.Errorf("cluster: ReassignFrac must be in [0,1), got %v", o.ReassignFrac)
+	}
+	return nil
+}
+
+// Result describes a completed clustering.
+type Result struct {
+	// Assignments maps each point index to its cluster in [0,K).
+	Assignments []int
+	// Centers are the final cluster mean vectors.
+	Centers []Vector
+	// Iterations is the number of iterative-phase rounds executed.
+	Iterations int
+	// Converged reports whether the termination condition was met before
+	// MaxIterations.
+	Converged bool
+}
+
+// K returns the number of clusters.
+func (r *Result) K() int { return len(r.Centers) }
+
+// Members returns the point indices of cluster c.
+func (r *Result) Members(c int) []int {
+	var out []int
+	for i, a := range r.Assignments {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Sizes returns the member count of every cluster.
+func (r *Result) Sizes() []int {
+	sizes := make([]int, len(r.Centers))
+	for _, a := range r.Assignments {
+		sizes[a]++
+	}
+	return sizes
+}
+
+// WithinClusterSS returns the total within-cluster sum of squared L2
+// distances (the K-means objective).
+func (r *Result) WithinClusterSS(points []Vector) float64 {
+	var sum float64
+	for i, a := range r.Assignments {
+		sum += sqL2(points[i], r.Centers[a])
+	}
+	return sum
+}
+
+// KMeans partitions points into k clusters. The seeder picks the initial
+// centers; src drives all randomness. The algorithm follows the paper's
+// three phases: initialization (seed + nearest-center assignment),
+// iteration (recompute means, reassign), and termination (when the number
+// of reassignments becomes minimal).
+func KMeans(points []Vector, k int, seeder Seeder, opts Options, src *simrand.Source) (*Result, error) {
+	if err := validatePoints(points); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(points)
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: k must be >= 1, got %d", k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("cluster: k=%d exceeds number of points %d", k, n)
+	}
+	if seeder == nil {
+		return nil, fmt.Errorf("cluster: nil seeder")
+	}
+	opts = opts.withDefaults()
+
+	// Initialization phase.
+	seedIdx, err := seeder.Seed(points, k, src)
+	if err != nil {
+		return nil, fmt.Errorf("seed centers: %w", err)
+	}
+	if len(seedIdx) != k {
+		return nil, fmt.Errorf("cluster: seeder returned %d centers, want %d", len(seedIdx), k)
+	}
+	seen := make(map[int]bool, k)
+	centers := make([]Vector, k)
+	for c, idx := range seedIdx {
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("cluster: seeder returned out-of-range index %d", idx)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("cluster: seeder returned duplicate index %d", idx)
+		}
+		seen[idx] = true
+		centers[c] = points[idx].Clone()
+	}
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = nearestCenter(points[i], centers)
+	}
+
+	// Iterative phase.
+	res := &Result{Assignments: assign, Centers: centers}
+	threshold := int(opts.ReassignFrac * float64(n))
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		recomputeCenters(points, res.Assignments, res.Centers)
+		repairEmptyClusters(points, res.Assignments, res.Centers)
+		moved := 0
+		for i := range points {
+			if c := nearestCenter(points[i], res.Centers); c != res.Assignments[i] {
+				res.Assignments[i] = c
+				moved++
+			}
+		}
+		res.Iterations = iter + 1
+		if moved <= threshold {
+			res.Converged = true
+			break
+		}
+	}
+	// Final means must reflect the final assignment.
+	recomputeCenters(points, res.Assignments, res.Centers)
+	repairEmptyClusters(points, res.Assignments, res.Centers)
+	return res, nil
+}
+
+// nearestCenter returns the index of the center closest to p (ties go to
+// the lowest index for determinism).
+func nearestCenter(p Vector, centers []Vector) int {
+	best := 0
+	bestD := sqL2(p, centers[0])
+	for c := 1; c < len(centers); c++ {
+		if d := sqL2(p, centers[c]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// recomputeCenters sets each center to the mean of its members. Centers of
+// empty clusters are left untouched (repairEmptyClusters handles them).
+func recomputeCenters(points []Vector, assign []int, centers []Vector) {
+	dim := len(points[0])
+	k := len(centers)
+	sums := make([][]float64, k)
+	counts := make([]int, k)
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+	for i, a := range assign {
+		counts[a]++
+		for j, x := range points[i] {
+			sums[a][j] += x
+		}
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := 0; j < dim; j++ {
+			centers[c][j] = sums[c][j] / float64(counts[c])
+		}
+	}
+}
+
+// repairEmptyClusters re-seeds any empty cluster at the point currently
+// farthest from its assigned center, stealing it from a cluster with more
+// than one member. This keeps all K groups non-degenerate, which the group
+// formation problem requires (K disjoint non-empty groups).
+func repairEmptyClusters(points []Vector, assign []int, centers []Vector) {
+	k := len(centers)
+	counts := make([]int, k)
+	for _, a := range assign {
+		counts[a]++
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] > 0 {
+			continue
+		}
+		// Farthest point whose cluster can spare it.
+		best := -1
+		var bestD float64
+		for i, a := range assign {
+			if counts[a] <= 1 {
+				continue
+			}
+			if d := sqL2(points[i], centers[assign[i]]); best < 0 || d > bestD {
+				best, bestD = i, d
+			}
+		}
+		if best < 0 {
+			continue // cannot repair (k == n with duplicates); leave empty
+		}
+		counts[assign[best]]--
+		assign[best] = c
+		counts[c] = 1
+		centers[c] = points[best].Clone()
+	}
+}

@@ -1,0 +1,408 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"edgecachegroups/internal/simrand"
+)
+
+// threeBlobs returns 3 well-separated 2-D clusters of size m each.
+func threeBlobs(m int, src *simrand.Source) []Vector {
+	centers := []Vector{{0, 0}, {100, 0}, {0, 100}}
+	var points []Vector
+	for _, c := range centers {
+		for i := 0; i < m; i++ {
+			points = append(points, Vector{
+				c[0] + src.Normal(0, 2),
+				c[1] + src.Normal(0, 2),
+			})
+		}
+	}
+	return points
+}
+
+func TestL2(t *testing.T) {
+	if got := L2(Vector{0, 0}, Vector{3, 4}); got != 5 {
+		t.Fatalf("L2 = %v, want 5", got)
+	}
+	if got := L2(Vector{1, 2, 3}, Vector{1, 2, 3}); got != 0 {
+		t.Fatalf("L2 identical = %v, want 0", got)
+	}
+}
+
+func TestL2PanicsOnDimMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("L2 with mismatched dims did not panic")
+		}
+	}()
+	L2(Vector{1}, Vector{1, 2})
+}
+
+func TestVectorClone(t *testing.T) {
+	v := Vector{1, 2}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	src := simrand.New(1)
+	points := threeBlobs(20, src)
+	res, err := KMeans(points, 3, UniformSeeder{}, DefaultOptions(), src.Split("km"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("K-means did not converge on separable blobs")
+	}
+	if res.K() != 3 {
+		t.Fatalf("K = %d, want 3", res.K())
+	}
+	// Every blob must map to a single cluster.
+	for b := 0; b < 3; b++ {
+		first := res.Assignments[b*20]
+		for i := 0; i < 20; i++ {
+			if got := res.Assignments[b*20+i]; got != first {
+				t.Fatalf("blob %d split across clusters (%d vs %d)", b, first, got)
+			}
+		}
+	}
+	// And the three blobs map to three distinct clusters.
+	if res.Assignments[0] == res.Assignments[20] ||
+		res.Assignments[20] == res.Assignments[40] ||
+		res.Assignments[0] == res.Assignments[40] {
+		t.Fatal("blobs merged into one cluster")
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	src := simrand.New(2)
+	points := []Vector{{1, 2}, {3, 4}}
+	tests := []struct {
+		name   string
+		points []Vector
+		k      int
+		seeder Seeder
+		opts   Options
+	}{
+		{name: "no points", points: nil, k: 1, seeder: UniformSeeder{}},
+		{name: "zero dim", points: []Vector{{}}, k: 1, seeder: UniformSeeder{}},
+		{name: "ragged dims", points: []Vector{{1}, {1, 2}}, k: 1, seeder: UniformSeeder{}},
+		{name: "nan component", points: []Vector{{math.NaN()}}, k: 1, seeder: UniformSeeder{}},
+		{name: "inf component", points: []Vector{{math.Inf(1)}}, k: 1, seeder: UniformSeeder{}},
+		{name: "k zero", points: points, k: 0, seeder: UniformSeeder{}},
+		{name: "k too big", points: points, k: 3, seeder: UniformSeeder{}},
+		{name: "nil seeder", points: points, k: 1, seeder: nil},
+		{name: "bad options", points: points, k: 1, seeder: UniformSeeder{}, opts: Options{MaxIterations: -1}},
+		{name: "bad reassign frac", points: points, k: 1, seeder: UniformSeeder{}, opts: Options{ReassignFrac: 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := KMeans(tt.points, tt.k, tt.seeder, tt.opts, src); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+// badSeeder returns broken seeds to exercise defensive checks.
+type badSeeder struct {
+	indices []int
+}
+
+func (b badSeeder) Seed([]Vector, int, *simrand.Source) ([]int, error) {
+	return b.indices, nil
+}
+
+func TestKMeansRejectsBrokenSeeder(t *testing.T) {
+	points := []Vector{{0}, {1}, {2}}
+	src := simrand.New(3)
+	tests := []struct {
+		name    string
+		indices []int
+	}{
+		{name: "wrong count", indices: []int{0}},
+		{name: "out of range", indices: []int{0, 5}},
+		{name: "negative", indices: []int{0, -1}},
+		{name: "duplicate", indices: []int{1, 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := KMeans(points, 2, badSeeder{tt.indices}, DefaultOptions(), src); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestKMeansInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		src := simrand.New(seed)
+		n := 20 + src.Intn(40)
+		k := 1 + src.Intn(8)
+		points := make([]Vector, n)
+		for i := range points {
+			points[i] = Vector{src.Uniform(0, 100), src.Uniform(0, 100), src.Uniform(0, 100)}
+		}
+		res, err := KMeans(points, k, UniformSeeder{}, DefaultOptions(), src.Split("km"))
+		if err != nil {
+			return false
+		}
+		// Invariant 1: every point assigned to a valid cluster.
+		if len(res.Assignments) != n {
+			return false
+		}
+		for _, a := range res.Assignments {
+			if a < 0 || a >= k {
+				return false
+			}
+		}
+		// Invariant 2: no empty clusters.
+		for _, s := range res.Sizes() {
+			if s == 0 {
+				return false
+			}
+		}
+		// Invariant 3: at convergence each point is at its nearest center.
+		if res.Converged {
+			for i := range points {
+				if nearestCenter(points[i], res.Centers) != res.Assignments[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	points := []Vector{{0}, {10}, {20}, {30}}
+	res, err := KMeans(points, 4, UniformSeeder{}, DefaultOptions(), simrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := res.Sizes()
+	for c, s := range sizes {
+		if s != 1 {
+			t.Fatalf("cluster %d has size %d, want 1", c, s)
+		}
+	}
+}
+
+func TestKMeansKEqualsOne(t *testing.T) {
+	points := []Vector{{0, 0}, {2, 0}, {4, 0}}
+	res, err := KMeans(points, 1, UniformSeeder{}, DefaultOptions(), simrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Centers[0][0]; math.Abs(got-2) > 1e-9 {
+		t.Fatalf("single-cluster mean = %v, want 2", got)
+	}
+	if got := res.Centers[0][1]; got != 0 {
+		t.Fatalf("single-cluster mean y = %v, want 0", got)
+	}
+}
+
+func TestKMeansDuplicatePoints(t *testing.T) {
+	points := []Vector{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	res, err := KMeans(points, 2, UniformSeeder{}, DefaultOptions(), simrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 4 {
+		t.Fatalf("assignments = %v", res.Assignments)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	src1 := simrand.New(7)
+	points1 := threeBlobs(15, src1)
+	res1, err := KMeans(points1, 3, UniformSeeder{}, DefaultOptions(), src1.Split("km"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2 := simrand.New(7)
+	points2 := threeBlobs(15, src2)
+	res2, err := KMeans(points2, 3, UniformSeeder{}, DefaultOptions(), src2.Split("km"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res1.Assignments {
+		if res1.Assignments[i] != res2.Assignments[i] {
+			t.Fatalf("non-deterministic assignment at %d", i)
+		}
+	}
+}
+
+func TestResultMembersAndWithinSS(t *testing.T) {
+	points := []Vector{{0}, {1}, {100}, {101}}
+	res, err := KMeans(points, 2, UniformSeeder{}, DefaultOptions(), simrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for c := 0; c < 2; c++ {
+		total += len(res.Members(c))
+	}
+	if total != 4 {
+		t.Fatalf("Members cover %d points, want 4", total)
+	}
+	// Optimal SS: each pair clusters together -> SS = 2*(0.5^2)*2 = 1.
+	if ss := res.WithinClusterSS(points); math.Abs(ss-1) > 1e-9 {
+		t.Fatalf("WithinClusterSS = %v, want 1", ss)
+	}
+}
+
+func TestUniformSeederDistinct(t *testing.T) {
+	points := make([]Vector, 10)
+	for i := range points {
+		points[i] = Vector{float64(i)}
+	}
+	idx, err := UniformSeeder{}.Seed(points, 5, simrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, i := range idx {
+		if seen[i] {
+			t.Fatalf("duplicate seed %d", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestWeightedSeederBias(t *testing.T) {
+	points := make([]Vector, 10)
+	weights := make([]float64, 10)
+	for i := range points {
+		points[i] = Vector{float64(i)}
+		weights[i] = 0.001
+	}
+	weights[3] = 1000 // index 3 should almost always be seeded
+	src := simrand.New(10)
+	hits := 0
+	for trial := 0; trial < 100; trial++ {
+		idx, err := WeightedSeeder{Weights: weights}.Seed(points, 2, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range idx {
+			if i == 3 {
+				hits++
+			}
+		}
+	}
+	if hits < 95 {
+		t.Fatalf("heavy index seeded only %d/100 times", hits)
+	}
+}
+
+func TestWeightedSeederErrors(t *testing.T) {
+	points := []Vector{{0}, {1}}
+	if _, err := (WeightedSeeder{Weights: []float64{1}}).Seed(points, 1, simrand.New(11)); err == nil {
+		t.Fatal("mismatched weights accepted")
+	}
+	if _, err := (WeightedSeeder{Weights: []float64{0, 0}}).Seed(points, 1, simrand.New(11)); err == nil {
+		t.Fatal("all-zero weights accepted")
+	}
+}
+
+func TestSpreadSeederCoversBlobs(t *testing.T) {
+	src := simrand.New(12)
+	points := threeBlobs(10, src)
+	idx, err := SpreadSeeder{}.Seed(points, 3, src.Split("seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The three seeds should land in three different blobs.
+	blobs := make(map[int]bool)
+	for _, i := range idx {
+		blobs[i/10] = true
+	}
+	if len(blobs) != 3 {
+		t.Fatalf("spread seeds cover %d blobs, want 3 (indices %v)", len(blobs), idx)
+	}
+}
+
+func TestSpreadSeederDuplicatePoints(t *testing.T) {
+	points := []Vector{{5}, {5}, {5}}
+	idx, err := SpreadSeeder{}.Seed(points, 3, simrand.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, i := range idx {
+		if seen[i] {
+			t.Fatalf("duplicate seed index %d", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestSpreadSeederKTooLarge(t *testing.T) {
+	if _, err := (SpreadSeeder{}).Seed([]Vector{{1}}, 2, simrand.New(14)); err == nil {
+		t.Fatal("oversized k accepted")
+	}
+}
+
+func TestSuggestKFindsPlantedClusterCount(t *testing.T) {
+	src := simrand.New(20)
+	points := threeBlobs(20, src)
+	k, curve, err := SuggestK(points, 8, SpreadSeeder{}, DefaultOptions(), src.Split("sk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 3 {
+		t.Fatalf("SuggestK = %d, want 3 (curve %v)", k, curve)
+	}
+	if len(curve) != 8 {
+		t.Fatalf("curve length = %d", len(curve))
+	}
+	// SS must be non-increasing in k (up to convergence noise at blobs).
+	if curve[0] <= curve[2] {
+		t.Fatalf("SS did not fall from k=1 (%v) to k=3 (%v)", curve[0], curve[2])
+	}
+}
+
+func TestSuggestKErrors(t *testing.T) {
+	src := simrand.New(21)
+	if _, _, err := SuggestK(nil, 3, UniformSeeder{}, DefaultOptions(), src); err == nil {
+		t.Fatal("empty points accepted")
+	}
+	points := []Vector{{1}, {2}, {3}}
+	if _, _, err := SuggestK(points, 1, UniformSeeder{}, DefaultOptions(), src); err == nil {
+		t.Fatal("kMax=1 accepted")
+	}
+	// kMax > n clamps instead of erroring.
+	k, curve, err := SuggestK(points, 10, UniformSeeder{}, DefaultOptions(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 || k < 1 || k > 3 {
+		t.Fatalf("clamped SuggestK = %d, curve %v", k, curve)
+	}
+	// Nil seeder defaults.
+	if _, _, err := SuggestK(points, 3, nil, DefaultOptions(), src); err != nil {
+		t.Fatalf("nil seeder rejected: %v", err)
+	}
+}
+
+func TestSuggestKIdenticalPoints(t *testing.T) {
+	src := simrand.New(22)
+	points := []Vector{{5, 5}, {5, 5}, {5, 5}, {5, 5}}
+	k, _, err := SuggestK(points, 4, UniformSeeder{}, DefaultOptions(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Fatalf("identical points SuggestK = %d, want 1", k)
+	}
+}

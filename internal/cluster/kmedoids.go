@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"fmt"
+
+	"edgecachegroups/internal/simrand"
+)
+
+// KMedoids partitions points into k clusters around medoids (actual
+// points) using a Voronoi-iteration PAM variant: assign every point to its
+// nearest medoid, then move each medoid to the member of its cluster that
+// minimizes the total within-cluster distance, until stable.
+//
+// The paper notes that "any standard clustering algorithm may be similarly
+// modified" for the SDSL seeding rule; K-medoids is the natural second
+// choice because its centers are real caches (useful when a group needs a
+// distinguished coordinator node). The same Seeder abstraction applies:
+// the SDSL WeightedSeeder biases the initial medoids toward the origin.
+//
+// The returned Result is shaped like KMeans's: Centers hold the medoid
+// coordinates (copies of input points).
+func KMedoids(points []Vector, k int, seeder Seeder, opts Options, src *simrand.Source) (*Result, error) {
+	if err := validatePoints(points); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(points)
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: k must be >= 1, got %d", k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("cluster: k=%d exceeds number of points %d", k, n)
+	}
+	if seeder == nil {
+		return nil, fmt.Errorf("cluster: nil seeder")
+	}
+	opts = opts.withDefaults()
+
+	seedIdx, err := seeder.Seed(points, k, src)
+	if err != nil {
+		return nil, fmt.Errorf("seed medoids: %w", err)
+	}
+	if len(seedIdx) != k {
+		return nil, fmt.Errorf("cluster: seeder returned %d medoids, want %d", len(seedIdx), k)
+	}
+	medoids := make([]int, k)
+	seen := make(map[int]bool, k)
+	for c, idx := range seedIdx {
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("cluster: seeder returned out-of-range index %d", idx)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("cluster: seeder returned duplicate index %d", idx)
+		}
+		seen[idx] = true
+		medoids[c] = idx
+	}
+
+	assign := make([]int, n)
+	assignAll := func() int {
+		moved := 0
+		for i := range points {
+			best := 0
+			bestD := sqL2(points[i], points[medoids[0]])
+			for c := 1; c < k; c++ {
+				if d := sqL2(points[i], points[medoids[c]]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				moved++
+			}
+		}
+		return moved
+	}
+	// Initial assignment (count everything as moved).
+	for i := range assign {
+		assign[i] = -1
+	}
+	assignAll()
+
+	res := &Result{Assignments: assign}
+	threshold := int(opts.ReassignFrac * float64(n))
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		// Update step: each medoid becomes the member minimizing the total
+		// distance to its cluster.
+		changed := false
+		for c := 0; c < k; c++ {
+			members := membersOf(assign, c)
+			if len(members) == 0 {
+				continue
+			}
+			best := medoids[c]
+			bestCost := clusterCost(points, members, best)
+			for _, cand := range members {
+				if cand == best {
+					continue
+				}
+				if cost := clusterCost(points, members, cand); cost < bestCost {
+					best, bestCost = cand, cost
+				}
+			}
+			if best != medoids[c] {
+				medoids[c] = best
+				changed = true
+			}
+		}
+		moved := assignAll()
+		res.Iterations = iter + 1
+		if !changed && moved <= threshold {
+			res.Converged = true
+			break
+		}
+	}
+
+	res.Centers = make([]Vector, k)
+	for c, m := range medoids {
+		res.Centers[c] = points[m].Clone()
+	}
+	// Guarantee non-empty clusters the same way KMeans does.
+	repairEmptyClusters(points, res.Assignments, res.Centers)
+	return res, nil
+}
+
+func membersOf(assign []int, c int) []int {
+	var out []int
+	for i, a := range assign {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// clusterCost is the total L2 distance from candidate medoid cand to the
+// members.
+func clusterCost(points []Vector, members []int, cand int) float64 {
+	var sum float64
+	for _, m := range members {
+		sum += L2(points[m], points[cand])
+	}
+	return sum
+}

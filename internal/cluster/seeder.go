@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"fmt"
+
+	"edgecachegroups/internal/simrand"
+)
+
+// Seeder chooses k initial cluster centers from points, returning point
+// indices. Implementations must return k distinct indices.
+type Seeder interface {
+	Seed(points []Vector, k int, src *simrand.Source) ([]int, error)
+}
+
+// UniformSeeder picks k distinct points uniformly at random. This is the
+// paper's SL-scheme initialization ("randomly chooses K edge caches").
+type UniformSeeder struct{}
+
+var _ Seeder = UniformSeeder{}
+
+// Seed implements Seeder.
+func (UniformSeeder) Seed(points []Vector, k int, src *simrand.Source) ([]int, error) {
+	idx, err := src.SampleWithoutReplacement(len(points), k)
+	if err != nil {
+		return nil, fmt.Errorf("uniform seed: %w", err)
+	}
+	return idx, nil
+}
+
+// WeightedSeeder picks k distinct points with probability proportional to
+// the supplied per-point weights. The SDSL scheme uses weights
+// 1/Dist(Ec, Os)^theta so that more initial centers land near the origin
+// server.
+type WeightedSeeder struct {
+	// Weights holds one non-negative weight per point.
+	Weights []float64
+}
+
+var _ Seeder = WeightedSeeder{}
+
+// Seed implements Seeder.
+func (s WeightedSeeder) Seed(points []Vector, k int, src *simrand.Source) ([]int, error) {
+	if len(s.Weights) != len(points) {
+		return nil, fmt.Errorf("cluster: %d weights for %d points", len(s.Weights), len(points))
+	}
+	idx, err := src.WeightedSampleWithoutReplacement(s.Weights, k)
+	if err != nil {
+		return nil, fmt.Errorf("weighted seed: %w", err)
+	}
+	return idx, nil
+}
+
+// SpreadSeeder implements k-means++-style seeding: the first center is
+// uniform, and each subsequent center is drawn with probability
+// proportional to its squared distance from the nearest chosen center.
+// This is the strongest interpretation of the paper's "ensuring that all
+// regions of the edge cache network are represented"; it is provided for
+// ablation studies.
+type SpreadSeeder struct{}
+
+var _ Seeder = SpreadSeeder{}
+
+// Seed implements Seeder.
+func (SpreadSeeder) Seed(points []Vector, k int, src *simrand.Source) ([]int, error) {
+	n := len(points)
+	if k > n {
+		return nil, fmt.Errorf("cluster: cannot seed %d centers from %d points", k, n)
+	}
+	chosen := make([]int, 0, k)
+	chosen = append(chosen, src.Intn(n))
+	minSq := make([]float64, n)
+	for i := range minSq {
+		minSq[i] = sqL2(points[i], points[chosen[0]])
+	}
+	for len(chosen) < k {
+		i, err := src.WeightedChoice(minSq)
+		if err != nil {
+			// All remaining distances are zero (duplicate points): fall back
+			// to the first unchosen index.
+			i = -1
+			taken := make(map[int]bool, len(chosen))
+			for _, c := range chosen {
+				taken[c] = true
+			}
+			for j := 0; j < n; j++ {
+				if !taken[j] {
+					i = j
+					break
+				}
+			}
+			if i < 0 {
+				return nil, fmt.Errorf("spread seed: %w", err)
+			}
+		}
+		chosen = append(chosen, i)
+		for j := range minSq {
+			if d := sqL2(points[j], points[i]); d < minSq[j] {
+				minSq[j] = d
+			}
+		}
+	}
+	return chosen, nil
+}

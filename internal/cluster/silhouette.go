@@ -1,0 +1,69 @@
+package cluster
+
+import "fmt"
+
+// Silhouette returns the mean silhouette coefficient of a partition — a
+// clustering-quality diagnostic in [-1, 1] where higher is better. For
+// each point, a is its mean distance to its own cluster's other members
+// and b the smallest mean distance to another cluster; the coefficient is
+// (b-a)/max(a,b). Points in singleton clusters contribute 0, following the
+// usual convention.
+func Silhouette(points []Vector, assign []int, k int) (float64, error) {
+	if err := validatePoints(points); err != nil {
+		return 0, err
+	}
+	n := len(points)
+	if len(assign) != n {
+		return 0, fmt.Errorf("cluster: %d assignments for %d points", len(assign), n)
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("cluster: k must be >= 1, got %d", k)
+	}
+	sizes := make([]int, k)
+	for i, a := range assign {
+		if a < 0 || a >= k {
+			return 0, fmt.Errorf("cluster: assignment %d of point %d out of range [0,%d)", a, i, k)
+		}
+		sizes[a]++
+	}
+	if k == 1 {
+		return 0, nil // silhouette undefined for a single cluster
+	}
+
+	var total float64
+	for i := range points {
+		own := assign[i]
+		if sizes[own] <= 1 {
+			continue // singleton contributes 0
+		}
+		// Mean distance to each cluster.
+		sums := make([]float64, k)
+		for j := range points {
+			if j == i {
+				continue
+			}
+			sums[assign[j]] += L2(points[i], points[j])
+		}
+		a := sums[own] / float64(sizes[own]-1)
+		b := -1.0
+		for c := 0; c < k; c++ {
+			if c == own || sizes[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(sizes[c]); b < 0 || m < b {
+				b = m
+			}
+		}
+		if b < 0 {
+			continue // no other non-empty cluster
+		}
+		maxAB := a
+		if b > maxAB {
+			maxAB = b
+		}
+		if maxAB > 0 {
+			total += (b - a) / maxAB
+		}
+	}
+	return total / float64(n), nil
+}

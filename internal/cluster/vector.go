@@ -1,0 +1,71 @@
+// Package cluster implements the K-means clustering engine used by the SL,
+// SDSL, and Euclidean group formation schemes. Initial-center seeding is
+// pluggable: the SL scheme seeds uniformly at random, while the SDSL scheme
+// seeds with probability inversely proportional to a cache's distance from
+// the origin server (paper §4.1).
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a point in feature space: for the SL/SDSL schemes, the vector
+// of measured RTTs from a cache to each landmark; for the Euclidean scheme,
+// GNP coordinates.
+type Vector []float64
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// L2 returns the Euclidean distance between a and b. It panics if the
+// dimensions differ; dimension agreement is validated once at clustering
+// entry, making this hot-path function panic-free in practice.
+func L2(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("cluster: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// sqL2 returns the squared Euclidean distance (cheaper for comparisons).
+func sqL2(a, b Vector) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// validatePoints checks that all points share one finite, non-zero
+// dimension.
+func validatePoints(points []Vector) error {
+	if len(points) == 0 {
+		return fmt.Errorf("cluster: no points")
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return fmt.Errorf("cluster: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+		for j, x := range p {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("cluster: point %d component %d is %v", i, j, x)
+			}
+		}
+	}
+	return nil
+}

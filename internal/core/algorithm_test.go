@@ -1,0 +1,123 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"edgecachegroups/internal/metrics"
+	"edgecachegroups/internal/simrand"
+)
+
+func TestAlgorithmString(t *testing.T) {
+	if AlgoKMeans.String() != "k-means" || AlgoKMedoids.String() != "k-medoids" {
+		t.Fatal("Algorithm String mismatch")
+	}
+	if !strings.Contains(Algorithm(9).String(), "Algorithm") {
+		t.Fatal("unknown Algorithm String mismatch")
+	}
+}
+
+func TestConfigValidateAlgorithm(t *testing.T) {
+	cfg := SL(5, 2)
+	cfg.Algorithm = Algorithm(9)
+	if err := cfg.Validate(100); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	cfg.Algorithm = AlgoKMedoids
+	if err := cfg.Validate(100); err != nil {
+		t.Fatalf("k-medoids rejected: %v", err)
+	}
+}
+
+func TestConfigNameWithKMedoids(t *testing.T) {
+	cfg := SDSL(5, 2, 1)
+	cfg.Algorithm = AlgoKMedoids
+	if got := cfg.Name(); got != "SDSL(theta=1)+kmedoids" {
+		t.Fatalf("Name() = %q", got)
+	}
+}
+
+// TestKMedoidsSchemeFormsComparableGroups: the alternative clustering
+// algorithm must produce proximity-coherent groups of quality comparable to
+// K-means (the paper's "any standard clustering algorithm" claim).
+func TestKMedoidsSchemeFormsComparableGroups(t *testing.T) {
+	nw, p := testSetup(t, 100, 70)
+
+	cfgMeans := SL(10, 4)
+	gfMeans, err := NewCoordinator(nw, p, cfgMeans, simrand.New(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	planMeans, err := gfMeans.FormGroups(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgMedoids := SL(10, 4)
+	cfgMedoids.Algorithm = AlgoKMedoids
+	gfMedoids, err := NewCoordinator(nw, p, cfgMedoids, simrand.New(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	planMedoids, err := gfMedoids.FormGroups(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	costMeans := metrics.AvgGroupInteractionCost(nw, planMeans.Groups())
+	costMedoids := metrics.AvgGroupInteractionCost(nw, planMedoids.Groups())
+	if costMedoids > costMeans*2 {
+		t.Fatalf("k-medoids GICost %v far worse than k-means %v", costMedoids, costMeans)
+	}
+	// Partition invariants hold for the alternative algorithm too.
+	sizes := planMedoids.Sizes()
+	total := 0
+	for g, s := range sizes {
+		if s == 0 {
+			t.Fatalf("k-medoids group %d empty", g)
+		}
+		total += s
+	}
+	if total != 100 {
+		t.Fatalf("k-medoids covers %d caches, want 100", total)
+	}
+}
+
+// TestKMedoidsWithSDSLSeeding: the SDSL seeding rule composes with the
+// alternative clustering algorithm.
+func TestKMedoidsWithSDSLSeeding(t *testing.T) {
+	nw, p := testSetup(t, 150, 72)
+	cfg := SDSL(10, 4, 2)
+	cfg.Algorithm = AlgoKMedoids
+	var nearSum, farSum float64
+	const trials = 3
+	for trial := 0; trial < trials; trial++ {
+		gf, err := NewCoordinator(nw, p, cfg, simrand.New(int64(73+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := gf.FormGroups(15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes := plan.Sizes()
+		for _, c := range nw.NearestCaches(30) {
+			g, err := plan.GroupOf(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nearSum += float64(sizes[g])
+		}
+		for _, c := range nw.FarthestCaches(30) {
+			g, err := plan.GroupOf(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			farSum += float64(sizes[g])
+		}
+	}
+	if nearSum >= farSum {
+		t.Fatalf("SDSL+kmedoids: near mean size %v not smaller than far %v",
+			nearSum/(30*trials), farSum/(30*trials))
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"edgecachegroups/internal/cluster"
+)
+
+// BalanceOptions constrains group sizes after clustering. Operators often
+// need bounds the raw clustering does not guarantee: a singleton group
+// cannot cooperate at all, and an enormous group's interaction costs blow
+// up. Balance enforces MinSize/MaxSize by moving boundary caches to their
+// nearest center with room.
+type BalanceOptions struct {
+	// MinSize is the smallest allowed group (>= 1).
+	MinSize int
+	// MaxSize is the largest allowed group; 0 means unbounded.
+	MaxSize int
+}
+
+// Validate reports whether the options are satisfiable for a plan with
+// numCaches caches and k groups.
+func (o BalanceOptions) Validate(numCaches, k int) error {
+	if o.MinSize < 1 {
+		return fmt.Errorf("core: MinSize must be >= 1, got %d", o.MinSize)
+	}
+	if o.MaxSize != 0 && o.MaxSize < o.MinSize {
+		return fmt.Errorf("core: MaxSize %d < MinSize %d", o.MaxSize, o.MinSize)
+	}
+	if o.MinSize*k > numCaches {
+		return fmt.Errorf("core: MinSize %d infeasible for %d caches in %d groups", o.MinSize, numCaches, k)
+	}
+	if o.MaxSize != 0 && o.MaxSize*k < numCaches {
+		return fmt.Errorf("core: MaxSize %d infeasible for %d caches in %d groups", o.MaxSize, numCaches, k)
+	}
+	return nil
+}
+
+// Balance rewrites the plan's assignments in place so that every group
+// size lies in [MinSize, MaxSize]. Caches are moved greedily: oversize
+// groups shed their members that are farthest from the group center,
+// undersize groups absorb the nearest available caches. The plan's
+// clustering metadata (Iterations, Converged) is preserved; centers are
+// not recomputed (they remain the clustering's centers, which keeps
+// AssignPoint stable for future incremental joins).
+func (p *Plan) Balance(opts BalanceOptions) error {
+	n := p.NumCaches()
+	k := p.NumGroups()
+	if err := opts.Validate(n, k); err != nil {
+		return err
+	}
+	if len(p.Points) != n {
+		return fmt.Errorf("core: plan has %d points for %d caches", len(p.Points), n)
+	}
+
+	sizes := p.Sizes()
+
+	// Phase 1: shrink oversize groups (only when a MaxSize is set).
+	if opts.MaxSize > 0 {
+		for g := 0; g < k; g++ {
+			for sizes[g] > opts.MaxSize {
+				idx := p.farthestMember(g)
+				if idx < 0 {
+					return fmt.Errorf("core: no movable member in oversize group %d", g)
+				}
+				dst := p.bestTarget(idx, g, sizes, opts.MaxSize)
+				if dst < 0 {
+					return fmt.Errorf("core: no target group with room for cache %d", idx)
+				}
+				p.Assignments[idx] = dst
+				sizes[g]--
+				sizes[dst]++
+			}
+		}
+	}
+
+	// Phase 2: grow undersize groups by pulling the nearest caches from
+	// groups that can spare them.
+	for g := 0; g < k; g++ {
+		for sizes[g] < opts.MinSize {
+			idx := p.nearestOutsider(g, sizes, opts.MinSize)
+			if idx < 0 {
+				return fmt.Errorf("core: cannot fill group %d to MinSize %d", g, opts.MinSize)
+			}
+			sizes[p.Assignments[idx]]--
+			p.Assignments[idx] = g
+			sizes[g]++
+		}
+	}
+	return nil
+}
+
+// farthestMember returns the member of group g farthest from its center,
+// or -1 when the group is empty.
+func (p *Plan) farthestMember(g int) int {
+	best := -1
+	var bestD float64
+	for i, a := range p.Assignments {
+		if a != g {
+			continue
+		}
+		d := cluster.L2(p.Points[i], p.Centers[g])
+		if best < 0 || d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// bestTarget returns the nearest group (by center distance from cache idx)
+// other than from with room under maxSize, or -1.
+func (p *Plan) bestTarget(idx, from int, sizes []int, maxSize int) int {
+	best := -1
+	var bestD float64
+	for g := range p.Centers {
+		if g == from {
+			continue
+		}
+		if maxSize > 0 && sizes[g] >= maxSize {
+			continue
+		}
+		d := cluster.L2(p.Points[idx], p.Centers[g])
+		if best < 0 || d < bestD {
+			best, bestD = g, d
+		}
+	}
+	return best
+}
+
+// nearestOutsider returns the cache outside group g nearest to g's center
+// whose current group can spare it (stays >= minSize after the move), or
+// -1.
+func (p *Plan) nearestOutsider(g int, sizes []int, minSize int) int {
+	type cand struct {
+		idx int
+		d   float64
+	}
+	var cands []cand
+	for i, a := range p.Assignments {
+		if a == g || sizes[a] <= minSize {
+			continue
+		}
+		cands = append(cands, cand{idx: i, d: cluster.L2(p.Points[i], p.Centers[g])})
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	return cands[0].idx
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"edgecachegroups/internal/metrics"
+	"edgecachegroups/internal/simrand"
+	"edgecachegroups/internal/topology"
+)
+
+func TestBalanceOptionsValidate(t *testing.T) {
+	tests := []struct {
+		name      string
+		opts      BalanceOptions
+		caches, k int
+		wantErr   bool
+	}{
+		{name: "ok", opts: BalanceOptions{MinSize: 2, MaxSize: 10}, caches: 50, k: 10},
+		{name: "unbounded max", opts: BalanceOptions{MinSize: 1}, caches: 50, k: 10},
+		{name: "zero min", opts: BalanceOptions{MinSize: 0}, caches: 50, k: 10, wantErr: true},
+		{name: "max below min", opts: BalanceOptions{MinSize: 5, MaxSize: 3}, caches: 50, k: 10, wantErr: true},
+		{name: "min infeasible", opts: BalanceOptions{MinSize: 10}, caches: 50, k: 10, wantErr: true},
+		{name: "max infeasible", opts: BalanceOptions{MinSize: 1, MaxSize: 2}, caches: 50, k: 10, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.opts.Validate(tt.caches, tt.k)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestBalanceEnforcesBounds(t *testing.T) {
+	nw, p := testSetup(t, 150, 160)
+	// SDSL at high theta produces very skewed group sizes, the case that
+	// needs balancing.
+	gf, err := NewCoordinator(nw, p, SDSL(10, 4, 3), simrand.New(161))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := gf.FormGroups(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := BalanceOptions{MinSize: 4, MaxSize: 20}
+	if err := plan.Balance(opts); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for g, s := range plan.Sizes() {
+		if s < 4 || s > 20 {
+			t.Fatalf("group %d has size %d outside [4,20]", g, s)
+		}
+		total += s
+	}
+	if total != 150 {
+		t.Fatalf("balance lost caches: %d", total)
+	}
+}
+
+func TestBalanceNoOpWhenSatisfied(t *testing.T) {
+	nw, p := testSetup(t, 60, 162)
+	gf, err := NewCoordinator(nw, p, SL(8, 3), simrand.New(163))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := gf.FormGroups(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]int(nil), plan.Assignments...)
+	if err := plan.Balance(BalanceOptions{MinSize: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if plan.Assignments[i] != before[i] {
+			t.Fatalf("no-op balance moved cache %d", i)
+		}
+	}
+}
+
+func TestBalanceRejectsInfeasible(t *testing.T) {
+	nw, p := testSetup(t, 30, 164)
+	gf, err := NewCoordinator(nw, p, SL(6, 3), simrand.New(165))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := gf.FormGroups(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Balance(BalanceOptions{MinSize: 5}); err == nil {
+		t.Fatal("infeasible MinSize accepted")
+	}
+	if err := plan.Balance(BalanceOptions{MinSize: 1, MaxSize: 2}); err == nil {
+		t.Fatal("infeasible MaxSize accepted")
+	}
+}
+
+// TestBalanceKeepsGroupsProximityCoherent: balancing should not wreck the
+// clustering quality — the balanced partition must stay far better than a
+// random one.
+func TestBalanceKeepsGroupsProximityCoherent(t *testing.T) {
+	nw, p := testSetup(t, 120, 166)
+	gf, err := NewCoordinator(nw, p, SDSL(10, 4, 2), simrand.New(167))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := gf.FormGroups(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Balance(BalanceOptions{MinSize: 3, MaxSize: 25}); err != nil {
+		t.Fatal(err)
+	}
+	balanced := metrics.AvgGroupInteractionCost(nw, plan.Groups())
+
+	src := simrand.New(168)
+	randGroups := make([][]topology.CacheIndex, 12)
+	for i := 0; i < 120; i++ {
+		g := src.Intn(12)
+		randGroups[g] = append(randGroups[g], topology.CacheIndex(i))
+	}
+	random := metrics.AvgGroupInteractionCost(nw, randGroups)
+	if balanced >= random {
+		t.Fatalf("balanced plan (%v) no better than random partition (%v)", balanced, random)
+	}
+}
+
+// TestBalanceInvariantProperty: for random feasible bounds, balancing
+// always yields a valid partition within bounds.
+func TestBalanceInvariantProperty(t *testing.T) {
+	nw, p := testSetup(t, 80, 169)
+	gf, err := NewCoordinator(nw, p, SDSL(8, 3, 2), simrand.New(170))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := gf.FormGroups(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		src := simrand.New(seed)
+		// Feasible bounds: min in [1,5] (8*5=40<=80), max in [10,30] w/ 8*10=80>=80.
+		minSize := 1 + src.Intn(5)
+		maxSize := 10 + src.Intn(21)
+		plan := &Plan{
+			Scheme:      base.Scheme,
+			Points:      base.Points,
+			Centers:     base.Centers,
+			Assignments: append([]int(nil), base.Assignments...),
+		}
+		if err := plan.Balance(BalanceOptions{MinSize: minSize, MaxSize: maxSize}); err != nil {
+			return false
+		}
+		total := 0
+		for _, s := range plan.Sizes() {
+			if s < minSize || s > maxSize {
+				return false
+			}
+			total += s
+		}
+		return total == 80
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

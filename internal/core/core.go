@@ -1,0 +1,500 @@
+// Package core implements the paper's contribution: the formation of
+// cooperative edge cache groups.
+//
+// A Coordinator plays the role of the paper's GF-Coordinator. It executes
+// the three steps of the SL scheme (§3): choosing a high-quality landmark
+// set, determining relative node positions by probing the landmarks, and
+// creating groups by K-means clustering of the resulting feature vectors.
+// The SDSL scheme (§4) reuses the same pipeline but seeds the K-means
+// initial centers with probability inversely proportional to each cache's
+// measured distance to the origin server, raised to the configurable
+// sensitivity exponent θ.
+//
+// The Euclidean representation (§5.2 baseline) replaces raw feature
+// vectors with GNP coordinates computed from the same landmark
+// measurements.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+
+	"edgecachegroups/internal/cluster"
+	"edgecachegroups/internal/gnp"
+	"edgecachegroups/internal/landmark"
+	"edgecachegroups/internal/probe"
+	"edgecachegroups/internal/simrand"
+	"edgecachegroups/internal/topology"
+	"edgecachegroups/internal/vivaldi"
+)
+
+// Representation selects how node positions are encoded for clustering.
+type Representation int
+
+// Position representations.
+const (
+	// FeatureVector is the paper's representation: the vector of measured
+	// RTTs from a cache to each landmark.
+	FeatureVector Representation = iota + 1
+	// Euclidean maps nodes into a D-dimensional space with GNP before
+	// clustering.
+	Euclidean
+	// Vivaldi maps nodes into a D-dimensional space with the Vivaldi
+	// spring-relaxation coordinate system (the paper's reference [3])
+	// before clustering.
+	Vivaldi
+)
+
+// String implements fmt.Stringer.
+func (r Representation) String() string {
+	switch r {
+	case FeatureVector:
+		return "feature-vector"
+	case Euclidean:
+		return "euclidean"
+	case Vivaldi:
+		return "vivaldi"
+	default:
+		return fmt.Sprintf("Representation(%d)", int(r))
+	}
+}
+
+// Algorithm selects the clustering algorithm used in step 3 of the
+// pipeline. The paper uses K-means and notes that "any standard clustering
+// algorithm may be similarly modified"; K-medoids is provided as the
+// alternative (its centers are real caches, which gives each group a
+// natural coordinator node).
+type Algorithm int
+
+// Clustering algorithms.
+const (
+	AlgoKMeans Algorithm = iota + 1
+	AlgoKMedoids
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoKMeans:
+		return "k-means"
+	case AlgoKMedoids:
+		return "k-medoids"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config describes a group formation scheme.
+type Config struct {
+	// Landmarks holds the landmark-set size parameters (L and M).
+	Landmarks landmark.Params
+	// Selector picks the landmark set; nil means the SL greedy selector.
+	Selector landmark.Selector
+	// Cluster tunes the K-means iteration.
+	Cluster cluster.Options
+	// Algorithm selects the clustering algorithm; zero means K-means.
+	Algorithm Algorithm
+	// Theta is the SDSL server-distance sensitivity. Zero yields the plain
+	// SL scheme (uniform seeding).
+	Theta float64
+	// Representation selects feature vectors (default) or GNP coordinates.
+	Representation Representation
+	// GNP configures the Euclidean embedding when Representation is
+	// Euclidean.
+	GNP gnp.Config
+	// Vivaldi configures the spring-relaxation embedding when
+	// Representation is Vivaldi.
+	Vivaldi vivaldi.Config
+	// ProbeParallelism bounds the concurrent per-cache probing fan-out; 0
+	// means a sensible default.
+	ProbeParallelism int
+}
+
+// SL returns the paper's SL scheme configuration: greedy landmark
+// selection, feature vectors, uniform K-means seeding.
+func SL(l, m int) Config {
+	return Config{
+		Landmarks:      landmark.Params{L: l, M: m},
+		Selector:       landmark.Greedy{},
+		Cluster:        cluster.DefaultOptions(),
+		Representation: FeatureVector,
+	}
+}
+
+// SDSL returns the paper's SDSL scheme configuration with sensitivity
+// theta.
+func SDSL(l, m int, theta float64) Config {
+	cfg := SL(l, m)
+	cfg.Theta = theta
+	return cfg
+}
+
+// EuclideanScheme returns the §5.2 baseline: the SL pipeline with GNP
+// coordinates (dim dimensions) instead of raw feature vectors.
+func EuclideanScheme(l, m, dim int) Config {
+	cfg := SL(l, m)
+	cfg.Representation = Euclidean
+	cfg.GNP = gnp.DefaultConfig()
+	cfg.GNP.Dim = dim
+	return cfg
+}
+
+// VivaldiScheme returns the SL pipeline with Vivaldi spring-relaxation
+// coordinates (dim dimensions) instead of raw feature vectors.
+func VivaldiScheme(l, m, dim int) Config {
+	cfg := SL(l, m)
+	cfg.Representation = Vivaldi
+	cfg.Vivaldi = vivaldi.DefaultConfig()
+	cfg.Vivaldi.Dim = dim
+	return cfg
+}
+
+// Name returns a short human-readable scheme identifier.
+func (c Config) Name() string {
+	sel := "greedy"
+	if c.Selector != nil {
+		sel = c.Selector.Name()
+	}
+	name := "SL"
+	if c.Theta > 0 {
+		name = "SDSL(theta=" + strconv.FormatFloat(c.Theta, 'g', -1, 64) + ")"
+	}
+	if c.Representation == Euclidean {
+		name += "+GNP"
+	}
+	if c.Representation == Vivaldi {
+		name += "+Vivaldi"
+	}
+	if sel != "greedy" {
+		name += "[" + sel + "-landmarks]"
+	}
+	if c.Algorithm == AlgoKMedoids {
+		name += "+kmedoids"
+	}
+	return name
+}
+
+// Validate reports whether the configuration is usable on a network of
+// numCaches caches.
+func (c Config) Validate(numCaches int) error {
+	if err := c.Landmarks.Validate(numCaches); err != nil {
+		return err
+	}
+	if err := c.Cluster.Validate(); err != nil {
+		return err
+	}
+	if c.Theta < 0 || math.IsNaN(c.Theta) {
+		return fmt.Errorf("core: Theta must be >= 0, got %v", c.Theta)
+	}
+	switch c.Representation {
+	case FeatureVector:
+	case Euclidean:
+		if err := c.GNP.Validate(); err != nil {
+			return err
+		}
+	case Vivaldi:
+		if err := c.Vivaldi.Validate(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("core: unknown representation %v", c.Representation)
+	}
+	if c.ProbeParallelism < 0 {
+		return fmt.Errorf("core: ProbeParallelism must be >= 0, got %d", c.ProbeParallelism)
+	}
+	switch c.Algorithm {
+	case 0, AlgoKMeans, AlgoKMedoids:
+	default:
+		return fmt.Errorf("core: unknown clustering algorithm %v", c.Algorithm)
+	}
+	return nil
+}
+
+// Coordinator is the GF-Coordinator: it owns the network, the prober, and
+// a scheme configuration, and forms cooperative groups on demand.
+type Coordinator struct {
+	nw     *topology.Network
+	prober *probe.Prober
+	cfg    Config
+	src    *simrand.Source
+}
+
+// NewCoordinator builds a Coordinator. The source drives landmark
+// sampling, K-means seeding, and GNP initialization.
+func NewCoordinator(nw *topology.Network, prober *probe.Prober, cfg Config, src *simrand.Source) (*Coordinator, error) {
+	if nw == nil {
+		return nil, errors.New("core: nil network")
+	}
+	if prober == nil {
+		return nil, errors.New("core: nil prober")
+	}
+	if src == nil {
+		return nil, errors.New("core: nil random source")
+	}
+	if cfg.Selector == nil {
+		cfg.Selector = landmark.Greedy{}
+	}
+	if err := cfg.Validate(nw.NumCaches()); err != nil {
+		return nil, err
+	}
+	return &Coordinator{nw: nw, prober: prober, cfg: cfg, src: src}, nil
+}
+
+// Config returns the coordinator's scheme configuration.
+func (gf *Coordinator) Config() Config { return gf.cfg }
+
+// Network returns the underlying edge cache network.
+func (gf *Coordinator) Network() *topology.Network { return gf.nw }
+
+// FormGroups partitions the network's caches into k cooperative groups.
+func (gf *Coordinator) FormGroups(k int) (*Plan, error) {
+	n := gf.nw.NumCaches()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("core: k=%d out of range [1,%d]", k, n)
+	}
+
+	// Step 1: choose the landmark set.
+	lms, err := gf.cfg.Selector.Select(gf.prober, n, gf.cfg.Landmarks, gf.src.Split("landmarks"))
+	if err != nil {
+		return nil, fmt.Errorf("select landmarks: %w", err)
+	}
+
+	// Step 2: every cache probes the landmarks to build its feature vector.
+	features, serverDist, err := gf.measureFeatures(lms)
+	if err != nil {
+		return nil, fmt.Errorf("measure feature vectors: %w", err)
+	}
+
+	// Optional representation change: GNP or Vivaldi coordinates.
+	points := features
+	var lmCoords [][]float64
+	switch gf.cfg.Representation {
+	case Euclidean:
+		points, lmCoords, err = gf.embed(lms, features)
+		if err != nil {
+			return nil, fmt.Errorf("euclidean embedding: %w", err)
+		}
+	case Vivaldi:
+		points, lmCoords, err = gf.embedVivaldi(lms, features)
+		if err != nil {
+			return nil, fmt.Errorf("vivaldi embedding: %w", err)
+		}
+	}
+
+	// Step 3: cluster. SDSL biases the initial centers toward the origin.
+	seeder, err := gf.seeder(serverDist)
+	if err != nil {
+		return nil, err
+	}
+	clusterFn := cluster.KMeans
+	if gf.cfg.Algorithm == AlgoKMedoids {
+		clusterFn = cluster.KMedoids
+	}
+	res, err := clusterFn(points, k, seeder, gf.cfg.Cluster, gf.src.Split("kmeans"))
+	if err != nil {
+		return nil, fmt.Errorf("cluster caches: %w", err)
+	}
+
+	return &Plan{
+		Scheme:         gf.cfg.Name(),
+		Landmarks:      lms,
+		Features:       features,
+		Points:         points,
+		LandmarkCoords: lmCoords,
+		ServerDist:     serverDist,
+		Assignments:    res.Assignments,
+		Centers:        res.Centers,
+		Iterations:     res.Iterations,
+		Converged:      res.Converged,
+	}, nil
+}
+
+// measureFeatures probes all landmarks from every cache concurrently.
+// It returns per-cache feature vectors and the measured server distances
+// (the component of the feature vector that corresponds to the origin
+// landmark).
+func (gf *Coordinator) measureFeatures(lms []probe.Endpoint) ([]cluster.Vector, []float64, error) {
+	n := gf.nw.NumCaches()
+	features := make([]cluster.Vector, n)
+	serverDist := make([]float64, n)
+	errs := make([]error, n)
+
+	originIdx := -1
+	for i, lm := range lms {
+		if lm.IsOrigin() {
+			originIdx = i
+			break
+		}
+	}
+
+	workers := gf.cfg.ProbeParallelism
+	if workers <= 0 {
+		workers = 8
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				self := probe.Cache(topology.CacheIndex(i))
+				vals, err := gf.prober.MeasureTo(self, lms)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				features[i] = cluster.Vector(vals)
+				if originIdx >= 0 {
+					serverDist[i] = vals[originIdx]
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("cache %d: %w", i, err)
+		}
+	}
+	if originIdx < 0 {
+		// Defensive: every selector includes the origin, but if a custom one
+		// does not, measure server distances directly.
+		for i := 0; i < n; i++ {
+			d, err := gf.prober.Measure(probe.Cache(topology.CacheIndex(i)), probe.Origin())
+			if err != nil {
+				return nil, nil, fmt.Errorf("measure server distance for cache %d: %w", i, err)
+			}
+			serverDist[i] = d
+		}
+	}
+	return features, serverDist, nil
+}
+
+// embed converts landmark feature measurements into GNP coordinates.
+func (gf *Coordinator) embed(lms []probe.Endpoint, features []cluster.Vector) ([]cluster.Vector, [][]float64, error) {
+	lmMatrix, err := gf.prober.MeasureMatrix(lms)
+	if err != nil {
+		return nil, nil, fmt.Errorf("probe landmark matrix: %w", err)
+	}
+	lmCoords, err := gnp.EmbedLandmarks(lmMatrix, gf.cfg.GNP, gf.src.Split("gnp/landmarks"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("embed landmarks: %w", err)
+	}
+	points := make([]cluster.Vector, len(features))
+	errs := make([]error, len(features))
+	workers := gf.cfg.ProbeParallelism
+	if workers <= 0 {
+		workers = 8
+	}
+	if workers > len(features) {
+		workers = len(features)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				coords, err := gnp.EmbedHost(lmCoords, features[i], gf.cfg.GNP, gf.src.SplitN("gnp/host", i))
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				points[i] = cluster.Vector(coords)
+			}
+		}()
+	}
+	for i := range features {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("embed cache %d: %w", i, err)
+		}
+	}
+	return points, lmCoords, nil
+}
+
+// embedVivaldi converts landmark feature measurements into Vivaldi
+// coordinates: landmarks converge among themselves first, then each cache
+// relaxes against the fixed landmark coordinates.
+func (gf *Coordinator) embedVivaldi(lms []probe.Endpoint, features []cluster.Vector) ([]cluster.Vector, [][]float64, error) {
+	lmMatrix, err := gf.prober.MeasureMatrix(lms)
+	if err != nil {
+		return nil, nil, fmt.Errorf("probe landmark matrix: %w", err)
+	}
+	lmCoords, err := vivaldi.EmbedLandmarks(lmMatrix, gf.cfg.Vivaldi, gf.src.Split("vivaldi/landmarks"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("embed landmarks: %w", err)
+	}
+	points := make([]cluster.Vector, len(features))
+	errs := make([]error, len(features))
+	workers := gf.cfg.ProbeParallelism
+	if workers <= 0 {
+		workers = 8
+	}
+	if workers > len(features) {
+		workers = len(features)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				coords, err := vivaldi.EmbedHost(lmCoords, features[i], gf.cfg.Vivaldi, gf.src.SplitN("vivaldi/host", i))
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				points[i] = cluster.Vector(coords)
+			}
+		}()
+	}
+	for i := range features {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("embed cache %d: %w", i, err)
+		}
+	}
+	return points, lmCoords, nil
+}
+
+// minServerDistMS guards the SDSL weight 1/d^theta against near-zero
+// measured distances.
+const minServerDistMS = 1.0
+
+// seeder builds the K-means seeder for the configured scheme.
+func (gf *Coordinator) seeder(serverDist []float64) (cluster.Seeder, error) {
+	if gf.cfg.Theta == 0 {
+		return cluster.UniformSeeder{}, nil
+	}
+	weights := make([]float64, len(serverDist))
+	for i, d := range serverDist {
+		if d < minServerDistMS {
+			d = minServerDistMS
+		}
+		weights[i] = 1 / math.Pow(d, gf.cfg.Theta)
+	}
+	return cluster.WeightedSeeder{Weights: weights}, nil
+}

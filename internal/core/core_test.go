@@ -1,0 +1,385 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"edgecachegroups/internal/landmark"
+	"edgecachegroups/internal/metrics"
+	"edgecachegroups/internal/probe"
+	"edgecachegroups/internal/simrand"
+	"edgecachegroups/internal/topology"
+)
+
+// testSetup builds a network and prober for core tests.
+func testSetup(t *testing.T, numCaches int, seed int64) (*topology.Network, *probe.Prober) {
+	t.Helper()
+	g, err := topology.GenerateTransitStub(topology.DefaultTransitStubParams(), simrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := topology.NewNetwork(g, topology.PlaceParams{NumCaches: numCaches}, simrand.New(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := probe.NewProber(nw, probe.DefaultConfig(), simrand.New(seed+2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw, p
+}
+
+func TestConfigNames(t *testing.T) {
+	tests := []struct {
+		cfg  Config
+		want string
+	}{
+		{cfg: SL(25, 4), want: "SL"},
+		{cfg: SDSL(25, 4, 1), want: "SDSL(theta=1)"},
+		{cfg: EuclideanScheme(25, 4, 5), want: "SL+GNP"},
+		{cfg: func() Config {
+			c := SL(25, 4)
+			c.Selector = landmark.Random{}
+			return c
+		}(), want: "SL[random-landmarks]"},
+	}
+	for _, tt := range tests {
+		if got := tt.cfg.Name(); got != tt.want {
+			t.Errorf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestRepresentationString(t *testing.T) {
+	if FeatureVector.String() != "feature-vector" || Euclidean.String() != "euclidean" {
+		t.Fatal("Representation String mismatch")
+	}
+	if !strings.Contains(Representation(0).String(), "Representation") {
+		t.Fatal("unknown representation String mismatch")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"bad landmarks", func(c *Config) { c.Landmarks.L = 0 }},
+		{"negative theta", func(c *Config) { c.Theta = -1 }},
+		{"unknown representation", func(c *Config) { c.Representation = 0 }},
+		{"bad gnp", func(c *Config) { c.Representation = Euclidean; c.GNP.Dim = 0 }},
+		{"negative parallelism", func(c *Config) { c.ProbeParallelism = -1 }},
+		{"bad cluster opts", func(c *Config) { c.Cluster.MaxIterations = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := SL(10, 2)
+			tt.mutate(&cfg)
+			if err := cfg.Validate(100); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+	if err := SL(10, 2).Validate(100); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestNewCoordinatorErrors(t *testing.T) {
+	nw, p := testSetup(t, 30, 40)
+	src := simrand.New(1)
+	if _, err := NewCoordinator(nil, p, SL(5, 2), src); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	if _, err := NewCoordinator(nw, nil, SL(5, 2), src); err == nil {
+		t.Fatal("nil prober accepted")
+	}
+	if _, err := NewCoordinator(nw, p, SL(5, 2), nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := NewCoordinator(nw, p, SL(500, 4), src); err == nil {
+		t.Fatal("oversized landmark config accepted")
+	}
+}
+
+func TestNilSelectorDefaultsToGreedy(t *testing.T) {
+	nw, p := testSetup(t, 30, 41)
+	cfg := SL(5, 2)
+	cfg.Selector = nil
+	gf, err := NewCoordinator(nw, p, cfg, simrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gf.Config().Selector == nil {
+		t.Fatal("selector not defaulted")
+	}
+	if gf.Config().Selector.Name() != "greedy" {
+		t.Fatalf("default selector = %q", gf.Config().Selector.Name())
+	}
+}
+
+func TestFormGroupsBasic(t *testing.T) {
+	nw, p := testSetup(t, 60, 42)
+	gf, err := NewCoordinator(nw, p, SL(8, 3), simrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := gf.FormGroups(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumGroups() != 6 {
+		t.Fatalf("NumGroups = %d, want 6", plan.NumGroups())
+	}
+	if plan.NumCaches() != 60 {
+		t.Fatalf("NumCaches = %d, want 60", plan.NumCaches())
+	}
+	if plan.Scheme != "SL" {
+		t.Fatalf("Scheme = %q", plan.Scheme)
+	}
+	if len(plan.Landmarks) != 8 || !plan.Landmarks[0].IsOrigin() {
+		t.Fatalf("landmarks = %v", plan.Landmarks)
+	}
+	// Every cache in exactly one group, no empty groups.
+	sizes := plan.Sizes()
+	total := 0
+	for g, s := range sizes {
+		if s == 0 {
+			t.Fatalf("group %d empty", g)
+		}
+		total += s
+	}
+	if total != 60 {
+		t.Fatalf("groups cover %d caches, want 60", total)
+	}
+	// Feature vectors have one component per landmark; component for the
+	// origin equals ServerDist.
+	for i, fv := range plan.Features {
+		if len(fv) != 8 {
+			t.Fatalf("feature vector %d has %d components", i, len(fv))
+		}
+		if fv[0] != plan.ServerDist[i] {
+			t.Fatalf("cache %d: FV[0]=%v, ServerDist=%v", i, fv[0], plan.ServerDist[i])
+		}
+	}
+	if plan.MeanGroupSize() != 10 {
+		t.Fatalf("MeanGroupSize = %v, want 10", plan.MeanGroupSize())
+	}
+}
+
+func TestFormGroupsKValidation(t *testing.T) {
+	nw, p := testSetup(t, 20, 43)
+	gf, err := NewCoordinator(nw, p, SL(5, 2), simrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gf.FormGroups(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := gf.FormGroups(21); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	if _, err := gf.FormGroups(20); err != nil {
+		t.Fatalf("k=n rejected: %v", err)
+	}
+}
+
+func TestFormGroupsDeterministic(t *testing.T) {
+	nw, p := testSetup(t, 50, 44)
+	for _, cfg := range []Config{SL(6, 2), SDSL(6, 2, 1)} {
+		gf1, err := NewCoordinator(nw, p, cfg, simrand.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan1, err := gf1.FormGroups(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gf2, err := NewCoordinator(nw, p, cfg, simrand.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan2, err := gf2.FormGroups(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range plan1.Assignments {
+			if plan1.Assignments[i] != plan2.Assignments[i] {
+				t.Fatalf("%s: non-deterministic assignment at cache %d", cfg.Name(), i)
+			}
+		}
+	}
+}
+
+// TestSLGroupsAreProximityCoherent: SL groups should have far lower
+// interaction cost than random partitions of the same sizes.
+func TestSLGroupsAreProximityCoherent(t *testing.T) {
+	nw, p := testSetup(t, 100, 45)
+	gf, err := NewCoordinator(nw, p, SL(12, 4), simrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := gf.FormGroups(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slCost := metrics.AvgGroupInteractionCost(nw, plan.Groups())
+
+	// Random partition with the same K.
+	src := simrand.New(7)
+	randGroups := make([][]topology.CacheIndex, 10)
+	for i := 0; i < 100; i++ {
+		g := src.Intn(10)
+		randGroups[g] = append(randGroups[g], topology.CacheIndex(i))
+	}
+	randCost := metrics.AvgGroupInteractionCost(nw, randGroups)
+
+	if slCost >= randCost*0.8 {
+		t.Fatalf("SL GICost %v not clearly better than random partition %v", slCost, randCost)
+	}
+}
+
+// TestGreedyLandmarksBeatMinDistOnGICost reproduces the Fig 4/5 ordering:
+// greedy landmark selection yields lower average group interaction cost
+// than the min-dist baseline (averaged over seeds to suppress noise).
+func TestGreedyLandmarksBeatMinDistOnGICost(t *testing.T) {
+	nw, p := testSetup(t, 150, 46)
+	var greedySum, minSum float64
+	const trials = 3
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(100 + trial)
+
+		cfgG := SL(10, 4)
+		gfG, err := NewCoordinator(nw, p, cfgG, simrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		planG, err := gfG.FormGroups(15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedySum += metrics.AvgGroupInteractionCost(nw, planG.Groups())
+
+		cfgM := SL(10, 4)
+		cfgM.Selector = landmark.MinDist{}
+		gfM, err := NewCoordinator(nw, p, cfgM, simrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		planM, err := gfM.FormGroups(15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minSum += metrics.AvgGroupInteractionCost(nw, planM.Groups())
+	}
+	if greedySum >= minSum {
+		t.Fatalf("greedy GICost %v not better than min-dist %v", greedySum/trials, minSum/trials)
+	}
+}
+
+// TestSDSLGroupsSmallerNearOrigin verifies the SDSL design goal: caches
+// near the origin end up in smaller groups than caches far from it.
+func TestSDSLGroupsSmallerNearOrigin(t *testing.T) {
+	nw, p := testSetup(t, 200, 47)
+	var nearSum, farSum float64
+	const trials = 3
+	for trial := 0; trial < trials; trial++ {
+		gf, err := NewCoordinator(nw, p, SDSL(12, 4, 2), simrand.New(int64(200+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := gf.FormGroups(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes := plan.Sizes()
+		near := nw.NearestCaches(40)
+		far := nw.FarthestCaches(40)
+		for _, c := range near {
+			g, err := plan.GroupOf(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nearSum += float64(sizes[g])
+		}
+		for _, c := range far {
+			g, err := plan.GroupOf(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			farSum += float64(sizes[g])
+		}
+	}
+	if nearSum >= farSum {
+		t.Fatalf("mean group size near origin (%v) not smaller than far (%v)",
+			nearSum/(40*trials), farSum/(40*trials))
+	}
+}
+
+func TestEuclideanSchemeProducesComparableGroups(t *testing.T) {
+	nw, p := testSetup(t, 80, 48)
+	gfFV, err := NewCoordinator(nw, p, SL(10, 4), simrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	planFV, err := gfFV.FormGroups(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gfEU, err := NewCoordinator(nw, p, EuclideanScheme(10, 4, 5), simrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	planEU, err := gfEU.FormGroups(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costFV := metrics.AvgGroupInteractionCost(nw, planFV.Groups())
+	costEU := metrics.AvgGroupInteractionCost(nw, planEU.Groups())
+	// The paper finds the two representations comparable; allow a generous
+	// 2x band either way.
+	if costEU > costFV*2 || costFV > costEU*2 {
+		t.Fatalf("representations diverge: FV=%v EU=%v", costFV, costEU)
+	}
+	// Euclidean plan carries embedding artifacts.
+	if len(planEU.LandmarkCoords) != 10 {
+		t.Fatalf("landmark coords = %d, want 10", len(planEU.LandmarkCoords))
+	}
+	if len(planEU.Points[0]) != 5 {
+		t.Fatalf("point dim = %d, want 5", len(planEU.Points[0]))
+	}
+	// Raw features preserved alongside embedded points.
+	if len(planEU.Features[0]) != 10 {
+		t.Fatalf("feature dim = %d, want 10", len(planEU.Features[0]))
+	}
+}
+
+func TestProbeParallelismInvariance(t *testing.T) {
+	nw, p := testSetup(t, 40, 49)
+	cfgSerial := SL(6, 2)
+	cfgSerial.ProbeParallelism = 1
+	cfgPar := SL(6, 2)
+	cfgPar.ProbeParallelism = 8
+
+	gf1, err := NewCoordinator(nw, p, cfgSerial, simrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan1, err := gf1.FormGroups(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf2, err := NewCoordinator(nw, p, cfgPar, simrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2, err := gf2.FormGroups(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plan1.Assignments {
+		if plan1.Assignments[i] != plan2.Assignments[i] {
+			t.Fatalf("parallelism changed assignment of cache %d", i)
+		}
+	}
+}

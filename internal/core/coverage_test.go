@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"edgecachegroups/internal/landmark"
+	"edgecachegroups/internal/probe"
+	"edgecachegroups/internal/simrand"
+	"edgecachegroups/internal/topology"
+)
+
+func TestCoordinatorNetworkAccessor(t *testing.T) {
+	nw, p := testSetup(t, 20, 180)
+	gf, err := NewCoordinator(nw, p, SL(4, 2), simrand.New(181))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gf.Network() != nw {
+		t.Fatal("Network() did not return the underlying network")
+	}
+}
+
+func TestPlanMeanGroupSizeEmpty(t *testing.T) {
+	var p Plan
+	if p.MeanGroupSize() != 0 {
+		t.Fatalf("empty plan MeanGroupSize = %v", p.MeanGroupSize())
+	}
+}
+
+// cacheOnlySelector is a custom selector that omits the origin, exercising
+// the coordinator's defensive direct measurement of server distances.
+type cacheOnlySelector struct{}
+
+func (cacheOnlySelector) Name() string { return "cache-only" }
+
+func (cacheOnlySelector) Select(_ *probe.Prober, numCaches int, params landmark.Params, src *simrand.Source) ([]probe.Endpoint, error) {
+	idx, err := src.SampleWithoutReplacement(numCaches, params.L)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]probe.Endpoint, len(idx))
+	for i, c := range idx {
+		out[i] = probe.Cache(topology.CacheIndex(c))
+	}
+	return out, nil
+}
+
+func TestFormGroupsWithOriginlessSelector(t *testing.T) {
+	nw, p := testSetup(t, 40, 182)
+	cfg := SL(5, 2)
+	cfg.Selector = cacheOnlySelector{}
+	gf, err := NewCoordinator(nw, p, cfg, simrand.New(183))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := gf.FormGroups(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server distances must still be populated (measured directly).
+	for i, d := range plan.ServerDist {
+		if d <= 0 {
+			t.Fatalf("cache %d server distance = %v, want > 0", i, d)
+		}
+	}
+	// SDSL seeding must work off the direct measurements too.
+	cfg2 := SDSL(5, 2, 1)
+	cfg2.Selector = cacheOnlySelector{}
+	gf2, err := NewCoordinator(nw, p, cfg2, simrand.New(184))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gf2.FormGroups(4); err != nil {
+		t.Fatal(err)
+	}
+}

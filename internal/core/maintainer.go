@@ -1,0 +1,261 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"edgecachegroups/internal/cluster"
+	"edgecachegroups/internal/simrand"
+	"edgecachegroups/internal/topology"
+)
+
+// FeatureSource returns a cache's *current* feature vector (its RTTs to
+// the plan's landmarks, freshly measured). The production implementation
+// probes the landmark set; tests inject synthetic drift.
+type FeatureSource func(i topology.CacheIndex) (cluster.Vector, error)
+
+// MaintainerConfig tunes group maintenance. Internet RTTs drift as routes
+// and load change, so a deployed edge cache network must refresh its
+// groups; the paper fixes the group formation inputs ("caches repeatedly
+// measure their network distance to these landmark nodes"), and this
+// component supplies the missing operational loop: cheap incremental
+// reassignment for isolated drift, full re-clustering when drift is
+// widespread.
+type MaintainerConfig struct {
+	// Interval is the period between maintenance rounds (Start/Stop mode).
+	// Zero means the default (1 minute).
+	Interval time.Duration
+	// SampleFraction is the fraction of caches re-measured per round, in
+	// (0, 1]. Sampling keeps the monitoring probe bill bounded.
+	SampleFraction float64
+	// DriftThreshold is the relative L2 feature change that marks a cache
+	// as drifted (e.g. 0.2 = 20%).
+	DriftThreshold float64
+	// ReclusterFraction: when more than this fraction of the sampled
+	// caches drifted, the maintainer triggers a full re-clustering instead
+	// of incremental reassignment.
+	ReclusterFraction float64
+}
+
+// DefaultMaintainerConfig returns sensible maintenance defaults.
+func DefaultMaintainerConfig() MaintainerConfig {
+	return MaintainerConfig{
+		Interval:          time.Minute,
+		SampleFraction:    0.25,
+		DriftThreshold:    0.2,
+		ReclusterFraction: 0.5,
+	}
+}
+
+// Validate reports whether the config is usable.
+func (c MaintainerConfig) Validate() error {
+	switch {
+	case c.Interval < 0:
+		return fmt.Errorf("core: Interval must be >= 0, got %v", c.Interval)
+	case c.SampleFraction <= 0 || c.SampleFraction > 1:
+		return fmt.Errorf("core: SampleFraction must be in (0,1], got %v", c.SampleFraction)
+	case c.DriftThreshold <= 0:
+		return fmt.Errorf("core: DriftThreshold must be > 0, got %v", c.DriftThreshold)
+	case c.ReclusterFraction <= 0 || c.ReclusterFraction > 1:
+		return fmt.Errorf("core: ReclusterFraction must be in (0,1], got %v", c.ReclusterFraction)
+	}
+	return nil
+}
+
+// MaintainerEvent describes one maintenance round's outcome.
+type MaintainerEvent struct {
+	// Round numbers rounds from 1.
+	Round int
+	// Sampled is the number of caches re-measured.
+	Sampled int
+	// Drifted lists sampled caches whose features moved beyond the
+	// threshold.
+	Drifted []topology.CacheIndex
+	// Reassigned lists drifted caches that changed group incrementally.
+	Reassigned []topology.CacheIndex
+	// Reclustered reports whether a full re-clustering replaced the plan.
+	Reclustered bool
+	// Err carries a round-level failure (the maintainer keeps running).
+	Err error
+}
+
+// Maintainer keeps a Plan aligned with current network conditions.
+type Maintainer struct {
+	cfg       MaintainerConfig
+	source    FeatureSource
+	recluster func() (*Plan, error)
+	src       *simrand.Source
+
+	mu    sync.Mutex
+	plan  *Plan
+	round int
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+	events    chan MaintainerEvent
+}
+
+// NewMaintainer builds a maintainer over plan. source measures current
+// features; recluster performs a full group re-formation (typically
+// Coordinator.FormGroups) and may be nil to disable full refreshes.
+func NewMaintainer(plan *Plan, source FeatureSource, recluster func() (*Plan, error), cfg MaintainerConfig, src *simrand.Source) (*Maintainer, error) {
+	if plan == nil {
+		return nil, errors.New("core: nil plan")
+	}
+	if len(plan.Points) != plan.NumCaches() || plan.NumCaches() == 0 {
+		return nil, fmt.Errorf("core: plan has %d points for %d caches", len(plan.Points), plan.NumCaches())
+	}
+	if source == nil {
+		return nil, errors.New("core: nil feature source")
+	}
+	if src == nil {
+		return nil, errors.New("core: nil random source")
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = time.Minute
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Maintainer{
+		cfg:       cfg,
+		source:    source,
+		recluster: recluster,
+		src:       src,
+		plan:      plan,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		events:    make(chan MaintainerEvent, 1),
+	}, nil
+}
+
+// Plan returns the current plan (which RunOnce or the background loop may
+// replace after a full re-clustering).
+func (m *Maintainer) Plan() *Plan {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.plan
+}
+
+// Events returns the channel on which background rounds report; events are
+// dropped if the consumer lags (capacity 1).
+func (m *Maintainer) Events() <-chan MaintainerEvent { return m.events }
+
+// RunOnce executes one synchronous maintenance round.
+func (m *Maintainer) RunOnce() (MaintainerEvent, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.round++
+	ev := MaintainerEvent{Round: m.round}
+
+	n := m.plan.NumCaches()
+	sample := int(math.Ceil(m.cfg.SampleFraction * float64(n)))
+	if sample > n {
+		sample = n
+	}
+	idx, err := m.src.SampleWithoutReplacement(n, sample)
+	if err != nil {
+		return ev, fmt.Errorf("sample caches: %w", err)
+	}
+	ev.Sampled = sample
+
+	fresh := make(map[int]cluster.Vector, sample)
+	for _, i := range idx {
+		fv, err := m.source(topology.CacheIndex(i))
+		if err != nil {
+			continue // unreachable cache: skip this round
+		}
+		if len(fv) != len(m.plan.Points[i]) {
+			return ev, fmt.Errorf("cache %d: feature dimension %d, want %d", i, len(fv), len(m.plan.Points[i]))
+		}
+		old := m.plan.Points[i]
+		norm := vectorNorm(old)
+		if norm < 1 {
+			norm = 1
+		}
+		if cluster.L2(fv, old)/norm > m.cfg.DriftThreshold {
+			ev.Drifted = append(ev.Drifted, topology.CacheIndex(i))
+		}
+		fresh[i] = fv
+	}
+
+	// Widespread drift: rebuild everything.
+	if m.recluster != nil && sample > 0 &&
+		float64(len(ev.Drifted))/float64(sample) > m.cfg.ReclusterFraction {
+		newPlan, err := m.recluster()
+		if err != nil {
+			ev.Err = fmt.Errorf("recluster: %w", err)
+			return ev, ev.Err
+		}
+		m.plan = newPlan
+		ev.Reclustered = true
+		return ev, nil
+	}
+
+	// Isolated drift: refresh the stored features and reassign to the
+	// nearest center.
+	for _, ci := range ev.Drifted {
+		i := int(ci)
+		m.plan.Points[i] = fresh[i]
+		if i < len(m.plan.Features) {
+			m.plan.Features[i] = fresh[i]
+		}
+		g, err := m.plan.AssignPoint(fresh[i])
+		if err != nil {
+			ev.Err = err
+			return ev, err
+		}
+		if g != m.plan.Assignments[i] {
+			m.plan.Assignments[i] = g
+			ev.Reassigned = append(ev.Reassigned, ci)
+		}
+	}
+	return ev, nil
+}
+
+// Start launches the background maintenance loop. Stop shuts it down.
+func (m *Maintainer) Start() {
+	m.startOnce.Do(func() {
+		go func() {
+			defer close(m.done)
+			ticker := time.NewTicker(m.cfg.Interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-m.stop:
+					return
+				case <-ticker.C:
+					ev, err := m.RunOnce()
+					if err != nil {
+						ev.Err = err
+					}
+					select {
+					case m.events <- ev:
+					default: // consumer lagging: drop
+					}
+				}
+			}
+		}()
+	})
+}
+
+// Stop signals the background loop to exit and waits for it. Stop is safe
+// to call without Start and is idempotent.
+func (m *Maintainer) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.startOnce.Do(func() { close(m.done) }) // never started: mark done
+	<-m.done
+}
+
+func vectorNorm(v cluster.Vector) float64 {
+	var sum float64
+	for _, x := range v {
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"edgecachegroups/internal/cluster"
+	"edgecachegroups/internal/probe"
+	"edgecachegroups/internal/simrand"
+	"edgecachegroups/internal/topology"
+)
+
+// maintPlan builds a 2-group plan with well-separated centers.
+func maintPlan(n int) *Plan {
+	points := make([]cluster.Vector, n)
+	assigns := make([]int, n)
+	for i := range points {
+		if i < n/2 {
+			points[i] = cluster.Vector{10 + float64(i%3), 10}
+			assigns[i] = 0
+		} else {
+			points[i] = cluster.Vector{200 + float64(i%3), 200}
+			assigns[i] = 1
+		}
+	}
+	return &Plan{
+		Scheme:      "SL",
+		Points:      points,
+		Features:    append([]cluster.Vector(nil), points...),
+		Assignments: assigns,
+		Centers:     []cluster.Vector{{10, 10}, {200, 200}},
+	}
+}
+
+// stableSource returns the plan's own points (no drift).
+func stableSource(p *Plan) FeatureSource {
+	return func(i topology.CacheIndex) (cluster.Vector, error) {
+		return p.Points[int(i)].Clone(), nil
+	}
+}
+
+func TestMaintainerConfigValidate(t *testing.T) {
+	if err := DefaultMaintainerConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []MaintainerConfig{
+		{Interval: -1, SampleFraction: 0.5, DriftThreshold: 0.1, ReclusterFraction: 0.5},
+		{Interval: 1, SampleFraction: 0, DriftThreshold: 0.1, ReclusterFraction: 0.5},
+		{Interval: 1, SampleFraction: 1.5, DriftThreshold: 0.1, ReclusterFraction: 0.5},
+		{Interval: 1, SampleFraction: 0.5, DriftThreshold: 0, ReclusterFraction: 0.5},
+		{Interval: 1, SampleFraction: 0.5, DriftThreshold: 0.1, ReclusterFraction: 0},
+		{Interval: 1, SampleFraction: 0.5, DriftThreshold: 0.1, ReclusterFraction: 2},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewMaintainerErrors(t *testing.T) {
+	plan := maintPlan(10)
+	cfg := DefaultMaintainerConfig()
+	src := simrand.New(1)
+	if _, err := NewMaintainer(nil, stableSource(plan), nil, cfg, src); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+	if _, err := NewMaintainer(plan, nil, nil, cfg, src); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := NewMaintainer(plan, stableSource(plan), nil, cfg, nil); err == nil {
+		t.Fatal("nil rand accepted")
+	}
+	bad := cfg
+	bad.SampleFraction = 0
+	if _, err := NewMaintainer(plan, stableSource(plan), nil, bad, src); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	empty := &Plan{}
+	if _, err := NewMaintainer(empty, stableSource(plan), nil, cfg, src); err == nil {
+		t.Fatal("empty plan accepted")
+	}
+}
+
+func TestRunOnceNoDrift(t *testing.T) {
+	plan := maintPlan(20)
+	cfg := DefaultMaintainerConfig()
+	cfg.SampleFraction = 1
+	m, err := NewMaintainer(plan, stableSource(plan), nil, cfg, simrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Round != 1 || ev.Sampled != 20 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if len(ev.Drifted) != 0 || len(ev.Reassigned) != 0 || ev.Reclustered {
+		t.Fatalf("stable network produced changes: %+v", ev)
+	}
+}
+
+func TestRunOnceIncrementalReassignment(t *testing.T) {
+	plan := maintPlan(20)
+	// Cache 0 (group 0) drifts to group 1's neighbourhood.
+	drifting := map[int]cluster.Vector{0: {199, 201}}
+	source := func(i topology.CacheIndex) (cluster.Vector, error) {
+		if fv, ok := drifting[int(i)]; ok {
+			return fv.Clone(), nil
+		}
+		return plan.Points[int(i)].Clone(), nil
+	}
+	cfg := DefaultMaintainerConfig()
+	cfg.SampleFraction = 1
+	m, err := NewMaintainer(plan, source, nil, cfg, simrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Drifted) != 1 || ev.Drifted[0] != 0 {
+		t.Fatalf("drifted = %v", ev.Drifted)
+	}
+	if len(ev.Reassigned) != 1 || ev.Reassigned[0] != 0 {
+		t.Fatalf("reassigned = %v", ev.Reassigned)
+	}
+	if ev.Reclustered {
+		t.Fatal("isolated drift triggered a full recluster")
+	}
+	g, err := m.Plan().GroupOf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 1 {
+		t.Fatalf("cache 0 in group %d after drift, want 1", g)
+	}
+	// Stored features refreshed.
+	if cluster.L2(m.Plan().Points[0], cluster.Vector{199, 201}) != 0 {
+		t.Fatal("plan points not refreshed")
+	}
+}
+
+func TestRunOnceWidespreadDriftTriggersRecluster(t *testing.T) {
+	plan := maintPlan(20)
+	// Everything drifts.
+	source := func(i topology.CacheIndex) (cluster.Vector, error) {
+		return cluster.Vector{1000 + float64(i), 1000}, nil
+	}
+	fresh := maintPlan(20)
+	fresh.Scheme = "recustered"
+	calls := 0
+	recluster := func() (*Plan, error) {
+		calls++
+		return fresh, nil
+	}
+	cfg := DefaultMaintainerConfig()
+	cfg.SampleFraction = 1
+	m, err := NewMaintainer(plan, source, recluster, cfg, simrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Reclustered || calls != 1 {
+		t.Fatalf("recluster not triggered: %+v calls=%d", ev, calls)
+	}
+	if m.Plan() != fresh {
+		t.Fatal("plan not replaced")
+	}
+}
+
+func TestRunOnceReclusterErrorSurfaces(t *testing.T) {
+	plan := maintPlan(10)
+	source := func(i topology.CacheIndex) (cluster.Vector, error) {
+		return cluster.Vector{9999, 9999}, nil
+	}
+	reclusterErr := errors.New("network down")
+	m, err := NewMaintainer(plan, source, func() (*Plan, error) { return nil, reclusterErr },
+		MaintainerConfig{Interval: time.Second, SampleFraction: 1, DriftThreshold: 0.1, ReclusterFraction: 0.3},
+		simrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunOnce(); !errors.Is(err, reclusterErr) {
+		t.Fatalf("err = %v, want wrapped recluster error", err)
+	}
+}
+
+func TestRunOnceSkipsUnreachableCaches(t *testing.T) {
+	plan := maintPlan(10)
+	source := func(i topology.CacheIndex) (cluster.Vector, error) {
+		if i == 3 {
+			return nil, errors.New("unreachable")
+		}
+		return plan.Points[int(i)].Clone(), nil
+	}
+	cfg := DefaultMaintainerConfig()
+	cfg.SampleFraction = 1
+	m, err := NewMaintainer(plan, source, nil, cfg, simrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunOnce(); err != nil {
+		t.Fatalf("round failed on unreachable cache: %v", err)
+	}
+}
+
+func TestMaintainerBackgroundLoop(t *testing.T) {
+	plan := maintPlan(20)
+	drifting := map[int]cluster.Vector{2: {198, 203}}
+	source := func(i topology.CacheIndex) (cluster.Vector, error) {
+		if fv, ok := drifting[int(i)]; ok {
+			return fv.Clone(), nil
+		}
+		return plan.Points[int(i)].Clone(), nil
+	}
+	cfg := MaintainerConfig{
+		Interval:          5 * time.Millisecond,
+		SampleFraction:    1,
+		DriftThreshold:    0.2,
+		ReclusterFraction: 0.9,
+	}
+	m, err := NewMaintainer(plan, source, nil, cfg, simrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	defer m.Stop()
+	select {
+	case ev := <-m.Events():
+		if ev.Round < 1 {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no maintenance event within 2s")
+	}
+	m.Stop()
+	m.Stop() // idempotent
+}
+
+func TestMaintainerStopWithoutStart(t *testing.T) {
+	plan := maintPlan(5)
+	m, err := NewMaintainer(plan, stableSource(plan), nil, DefaultMaintainerConfig(), simrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Stop() // must not hang
+}
+
+// TestMaintainerEndToEnd wires the maintainer to a real coordinator and
+// prober: re-measured features (same conditions) must not churn groups.
+func TestMaintainerEndToEnd(t *testing.T) {
+	nw, p := testSetup(t, 40, 190)
+	gf, err := NewCoordinator(nw, p, SL(6, 3), simrand.New(191))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := gf.FormGroups(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	source := func(i topology.CacheIndex) (cluster.Vector, error) {
+		vals, err := p.MeasureTo(probe.Cache(i), plan.Landmarks)
+		if err != nil {
+			return nil, err
+		}
+		return cluster.Vector(vals), nil
+	}
+	cfg := DefaultMaintainerConfig()
+	cfg.SampleFraction = 1
+	m, err := NewMaintainer(plan, source, func() (*Plan, error) { return gf.FormGroups(4) }, cfg, simrand.New(192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The prober is deterministic per pair, so re-measured features are
+	// identical: zero drift.
+	if len(ev.Drifted) != 0 || ev.Reclustered {
+		t.Fatalf("stable conditions produced drift: %+v", ev)
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"edgecachegroups/internal/cluster"
+	"edgecachegroups/internal/probe"
+	"edgecachegroups/internal/topology"
+)
+
+// Plan is the result of group formation: the partition of caches into K
+// cooperative groups, plus the intermediate artifacts (landmarks, feature
+// vectors, cluster centers) needed to assign new caches incrementally.
+type Plan struct {
+	// Scheme names the configuration that produced this plan.
+	Scheme string
+	// Landmarks is the chosen landmark set (origin first).
+	Landmarks []probe.Endpoint
+	// Features holds the raw RTT feature vector of each cache.
+	Features []cluster.Vector
+	// Points holds the clustered representation (equal to Features for the
+	// feature-vector representation, GNP coordinates otherwise).
+	Points []cluster.Vector
+	// LandmarkCoords holds GNP landmark coordinates (Euclidean
+	// representation only).
+	LandmarkCoords [][]float64
+	// ServerDist holds each cache's measured RTT to the origin server.
+	ServerDist []float64
+	// Assignments maps cache index -> group ID in [0,K).
+	Assignments []int
+	// Centers are the final cluster centers in the clustered space.
+	Centers []cluster.Vector
+	// Iterations and Converged report the K-means outcome.
+	Iterations int
+	Converged  bool
+}
+
+// NumGroups returns K.
+func (p *Plan) NumGroups() int { return len(p.Centers) }
+
+// NumCaches returns the number of caches covered by the plan.
+func (p *Plan) NumCaches() int { return len(p.Assignments) }
+
+// GroupOf returns the group ID of cache i.
+func (p *Plan) GroupOf(i topology.CacheIndex) (int, error) {
+	if int(i) < 0 || int(i) >= len(p.Assignments) {
+		return 0, fmt.Errorf("core: cache index %d out of range [0,%d)", i, len(p.Assignments))
+	}
+	return p.Assignments[int(i)], nil
+}
+
+// Group returns the members of group g.
+func (p *Plan) Group(g int) ([]topology.CacheIndex, error) {
+	if g < 0 || g >= len(p.Centers) {
+		return nil, fmt.Errorf("core: group %d out of range [0,%d)", g, len(p.Centers))
+	}
+	var out []topology.CacheIndex
+	for i, a := range p.Assignments {
+		if a == g {
+			out = append(out, topology.CacheIndex(i))
+		}
+	}
+	return out, nil
+}
+
+// Groups returns all groups as slices of cache indices, indexed by group
+// ID. Empty groups yield nil slices.
+func (p *Plan) Groups() [][]topology.CacheIndex {
+	out := make([][]topology.CacheIndex, len(p.Centers))
+	for i, a := range p.Assignments {
+		out[a] = append(out[a], topology.CacheIndex(i))
+	}
+	return out
+}
+
+// Sizes returns the member count of each group.
+func (p *Plan) Sizes() []int {
+	sizes := make([]int, len(p.Centers))
+	for _, a := range p.Assignments {
+		sizes[a]++
+	}
+	return sizes
+}
+
+// MeanGroupSize returns the average number of caches per group.
+func (p *Plan) MeanGroupSize() float64 {
+	if len(p.Centers) == 0 {
+		return 0
+	}
+	return float64(len(p.Assignments)) / float64(len(p.Centers))
+}
+
+// AssignPoint returns the group whose center is nearest to the given point
+// in the plan's clustered space. It supports incremental group membership:
+// probe a new cache's feature vector (and embed it, for Euclidean plans),
+// then assign it without re-clustering the network.
+func (p *Plan) AssignPoint(point cluster.Vector) (int, error) {
+	if len(p.Centers) == 0 {
+		return 0, fmt.Errorf("core: plan has no centers")
+	}
+	if len(point) != len(p.Centers[0]) {
+		return 0, fmt.Errorf("core: point dimension %d, want %d", len(point), len(p.Centers[0]))
+	}
+	best := 0
+	bestD := cluster.L2(point, p.Centers[0])
+	for c := 1; c < len(p.Centers); c++ {
+		if d := cluster.L2(point, p.Centers[c]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, nil
+}
+
+// AddCache appends a new cache with the given clustered-space point and
+// raw server distance, assigning it to the nearest group. It returns the
+// assigned group.
+func (p *Plan) AddCache(point cluster.Vector, serverDist float64) (int, error) {
+	g, err := p.AssignPoint(point)
+	if err != nil {
+		return 0, err
+	}
+	p.Points = append(p.Points, point)
+	p.Features = append(p.Features, point) // raw features unavailable for embedded points
+	p.ServerDist = append(p.ServerDist, serverDist)
+	p.Assignments = append(p.Assignments, g)
+	return g, nil
+}
+
+// RemoveCache removes cache i from the plan, preserving the indices of the
+// remaining caches minus one (the slice compacts). It returns an error if
+// removal would leave a group empty and no repair is possible, or if i is
+// out of range.
+func (p *Plan) RemoveCache(i topology.CacheIndex) error {
+	idx := int(i)
+	if idx < 0 || idx >= len(p.Assignments) {
+		return fmt.Errorf("core: cache index %d out of range [0,%d)", i, len(p.Assignments))
+	}
+	p.Assignments = append(p.Assignments[:idx], p.Assignments[idx+1:]...)
+	p.Points = append(p.Points[:idx], p.Points[idx+1:]...)
+	if idx < len(p.Features) {
+		p.Features = append(p.Features[:idx], p.Features[idx+1:]...)
+	}
+	if idx < len(p.ServerDist) {
+		p.ServerDist = append(p.ServerDist[:idx], p.ServerDist[idx+1:]...)
+	}
+	return nil
+}

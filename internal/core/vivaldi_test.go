@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"edgecachegroups/internal/metrics"
+	"edgecachegroups/internal/simrand"
+)
+
+func TestVivaldiSchemeName(t *testing.T) {
+	if got := VivaldiScheme(10, 4, 5).Name(); got != "SL+Vivaldi" {
+		t.Fatalf("Name() = %q", got)
+	}
+	if Vivaldi.String() != "vivaldi" {
+		t.Fatal("Representation string mismatch")
+	}
+}
+
+func TestVivaldiSchemeValidate(t *testing.T) {
+	cfg := VivaldiScheme(10, 4, 5)
+	if err := cfg.Validate(100); err != nil {
+		t.Fatalf("valid vivaldi config rejected: %v", err)
+	}
+	cfg.Vivaldi.Dim = 0
+	if err := cfg.Validate(100); err == nil {
+		t.Fatal("bad vivaldi config accepted")
+	}
+}
+
+// TestVivaldiSchemeProducesComparableGroups: Vivaldi coordinates should
+// cluster about as well as raw feature vectors (the paper's argument that
+// coordinate systems and feature vectors are interchangeable here).
+func TestVivaldiSchemeProducesComparableGroups(t *testing.T) {
+	nw, p := testSetup(t, 80, 140)
+	gfFV, err := NewCoordinator(nw, p, SL(10, 4), simrand.New(141))
+	if err != nil {
+		t.Fatal(err)
+	}
+	planFV, err := gfFV.FormGroups(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gfVV, err := NewCoordinator(nw, p, VivaldiScheme(10, 4, 5), simrand.New(141))
+	if err != nil {
+		t.Fatal(err)
+	}
+	planVV, err := gfVV.FormGroups(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costFV := metrics.AvgGroupInteractionCost(nw, planFV.Groups())
+	costVV := metrics.AvgGroupInteractionCost(nw, planVV.Groups())
+	if costVV > costFV*2 {
+		t.Fatalf("vivaldi groups much worse: %v vs %v", costVV, costFV)
+	}
+	if len(planVV.Points[0]) != 5 {
+		t.Fatalf("vivaldi point dim = %d, want 5", len(planVV.Points[0]))
+	}
+	if len(planVV.LandmarkCoords) != 10 {
+		t.Fatalf("vivaldi landmark coords = %d, want 10", len(planVV.LandmarkCoords))
+	}
+	// Raw features preserved.
+	if len(planVV.Features[0]) != 10 {
+		t.Fatalf("feature dim = %d, want 10", len(planVV.Features[0]))
+	}
+}
+
+func TestVivaldiSchemeDeterministic(t *testing.T) {
+	nw, p := testSetup(t, 50, 142)
+	cfg := VivaldiScheme(8, 3, 4)
+	a, err := NewCoordinator(nw, p, cfg, simrand.New(143))
+	if err != nil {
+		t.Fatal(err)
+	}
+	planA, err := a.FormGroups(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCoordinator(nw, p, cfg, simrand.New(143))
+	if err != nil {
+		t.Fatal(err)
+	}
+	planB, err := b.FormGroups(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range planA.Assignments {
+		if planA.Assignments[i] != planB.Assignments[i] {
+			t.Fatalf("non-deterministic vivaldi assignment at %d", i)
+		}
+	}
+}

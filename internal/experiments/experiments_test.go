@@ -1,0 +1,538 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatalf("default options invalid: %v", err)
+	}
+	bad := []Options{
+		{Seed: 1, Scale: 0},
+		{Seed: 1, Scale: -1},
+		{Seed: 1, Scale: 1.5},
+		{Seed: 1, Scale: 1, Parallelism: -1},
+		{Seed: 1, Scale: 1, Trials: -1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Fatalf("bad options %d accepted", i)
+		}
+	}
+}
+
+func TestScaleInt(t *testing.T) {
+	o := Options{Scale: 0.5}
+	if got := o.scaleInt(100, 10); got != 50 {
+		t.Fatalf("scaleInt(100) = %d, want 50", got)
+	}
+	if got := o.scaleInt(10, 10); got != 10 {
+		t.Fatalf("scaleInt floor = %d, want 10", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "Demo",
+		Columns: []string{"a", "long column"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"a note"},
+	}
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "long column", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKSweep(t *testing.T) {
+	ks := kSweep(500)
+	want := []int{10, 25, 50, 75, 100}
+	if len(ks) != len(want) {
+		t.Fatalf("kSweep(500) = %v", ks)
+	}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("kSweep(500) = %v, want %v", ks, want)
+		}
+	}
+	// Small n deduplicates and stays >= 2.
+	for _, k := range kSweep(20) {
+		if k < 2 {
+			t.Fatalf("kSweep(20) contains %d", k)
+		}
+	}
+}
+
+func TestLandmarksFor(t *testing.T) {
+	l, m := landmarksFor(500)
+	if l != 25 || m != 4 {
+		t.Fatalf("landmarksFor(500) = (%d,%d)", l, m)
+	}
+	l, m = landmarksFor(40)
+	if m*(l-1) > 40 {
+		t.Fatalf("landmarksFor(40) = (%d,%d) violates PLSet bound", l, m)
+	}
+	l, m = landmarksFor(2)
+	if l < 2 || m < 1 {
+		t.Fatalf("landmarksFor(2) = (%d,%d)", l, m)
+	}
+}
+
+// testOptions returns the scaled-down options used by the shape tests.
+func testOptions(trials int) Options {
+	return Options{Seed: 11, Scale: 0.24, Parallelism: 4, Trials: trials}
+}
+
+func TestFig3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	res, err := Fig3(testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 4 {
+		t.Fatalf("too few sweep points: %d", len(res.Points))
+	}
+	// U-shape on the all-caches series: the minimum is interior or near
+	// interior, and the single-group extreme is clearly worse than the
+	// minimum.
+	minAll, argMinAll := res.Points[0].AllMS, 0
+	for i, p := range res.Points {
+		if p.AllMS <= 0 || p.NearMS <= 0 || p.FarMS <= 0 {
+			t.Fatalf("non-positive latency at point %d: %+v", i, p)
+		}
+		if p.AllMS < minAll {
+			minAll, argMinAll = p.AllMS, i
+		}
+	}
+	last := res.Points[len(res.Points)-1]
+	if last.AllMS < minAll*1.1 {
+		t.Fatalf("no upturn: single-group latency %v vs min %v", last.AllMS, minAll)
+	}
+	if argMinAll == len(res.Points)-1 {
+		t.Fatal("minimum at the single-group extreme; U-shape missing")
+	}
+	// Near caches bottom out at a group size <= the far caches' optimum.
+	argMinNear, argMinFar := 0, 0
+	for i, p := range res.Points {
+		if p.NearMS < res.Points[argMinNear].NearMS {
+			argMinNear = i
+		}
+		if p.FarMS < res.Points[argMinFar].FarMS {
+			argMinFar = i
+		}
+	}
+	if res.Points[argMinNear].GroupSize > res.Points[argMinFar].GroupSize {
+		t.Fatalf("near-cache optimum group size %d > far-cache optimum %d",
+			res.Points[argMinNear].GroupSize, res.Points[argMinFar].GroupSize)
+	}
+	// Table renders.
+	var sb strings.Builder
+	if err := res.Table().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	res, err := Fig4(Options{Seed: 11, Scale: 0.3, Parallelism: 4, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var greedy, random, minDist float64
+	for _, p := range res.Points {
+		greedy += p.GreedyMS
+		random += p.RandomMS
+		minDist += p.MinDistMS
+	}
+	if greedy >= minDist {
+		t.Fatalf("greedy (%v) not better than min-dist (%v) in aggregate", greedy, minDist)
+	}
+	if greedy > random*1.05 {
+		t.Fatalf("greedy (%v) clearly worse than random (%v)", greedy, random)
+	}
+	var sb strings.Builder
+	if err := res.Table().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	res, err := Fig5(testOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var greedy, minDist float64
+	for _, p := range res.Points {
+		greedy += p.GreedyMS
+		minDist += p.MinDistMS
+		if p.GreedyMS <= 0 {
+			t.Fatalf("non-positive cost at K=%d", p.K)
+		}
+	}
+	if greedy >= minDist {
+		t.Fatalf("greedy (%v) not better than min-dist (%v) in aggregate", greedy, minDist)
+	}
+	// Costs should fall as K grows (more, smaller groups).
+	first, lastPt := res.Points[0], res.Points[len(res.Points)-1]
+	if lastPt.GreedyMS >= first.GreedyMS {
+		t.Fatalf("greedy cost did not fall with K: %v -> %v", first.GreedyMS, lastPt.GreedyMS)
+	}
+}
+
+func TestFig5Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	a, err := Fig5(testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig5(testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs across identical runs: %+v vs %+v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	res, err := Fig6(testOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(res.Points))
+	}
+	var greedy, minDist float64
+	for _, p := range res.Points {
+		greedy += p.GreedyMS
+		minDist += p.MinDistMS
+	}
+	if greedy >= minDist {
+		t.Fatalf("greedy (%v) not better than min-dist (%v) in aggregate", greedy, minDist)
+	}
+	// More landmarks should not hurt the greedy selector much.
+	if res.Points[2].GreedyMS > res.Points[0].GreedyMS*1.15 {
+		t.Fatalf("greedy got worse with more landmarks: %v -> %v",
+			res.Points[0].GreedyMS, res.Points[2].GreedyMS)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	res, err := Fig7(testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The representations must stay comparable: mean absolute relative
+	// difference under 40% (the paper reports near-parity; small scale is
+	// noisier).
+	var sumAbs float64
+	for _, p := range res.Points {
+		d := p.RelativeDiff
+		if d < 0 {
+			d = -d
+		}
+		sumAbs += d
+	}
+	mean := sumAbs / float64(len(res.Points))
+	if mean > 0.4 {
+		t.Fatalf("representations diverge: mean |rel diff| = %v", mean)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	res, err := Fig8(testOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate over the realistic sizes (paper starts at 100 caches; at
+	// tiny scaled sizes the SDSL bias has too few caches to matter).
+	var sl, sdsl float64
+	var counted int
+	for _, p := range res.Points {
+		if p.NumCaches < 60 {
+			continue
+		}
+		sl += p.SL10MS + p.SL20MS
+		sdsl += p.SDSL10MS + p.SDSL20MS
+		counted++
+	}
+	if counted == 0 {
+		t.Skip("scale too small for meaningful SDSL comparison")
+	}
+	if sdsl >= sl {
+		t.Fatalf("SDSL (%v) not better than SL (%v) in aggregate", sdsl, sl)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	res, err := Fig9(testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sl, sdsl float64
+	for _, p := range res.Points {
+		sl += p.SLMS
+		sdsl += p.SDSLMS
+	}
+	if sdsl >= sl {
+		t.Fatalf("SDSL (%v) not better than SL (%v) in aggregate", sdsl, sl)
+	}
+}
+
+func TestAblationThetaShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	res, err := AblationTheta(testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points[0].Theta != 0 {
+		t.Fatal("first point must be theta=0 (plain SL)")
+	}
+	// For theta >= 1 the near-origin groups must be smaller than the
+	// far-origin groups.
+	for _, p := range res.Points {
+		if p.Theta >= 1 && p.NearMeanSize >= p.FarMeanSize {
+			t.Fatalf("theta=%v: near mean size %v >= far mean size %v",
+				p.Theta, p.NearMeanSize, p.FarMeanSize)
+		}
+	}
+}
+
+func TestAblationPLSetMShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	res, err := AblationPLSetM(testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for _, p := range res.Points {
+		if p.ProbePairs < prev {
+			t.Fatalf("probe pairs not monotone: %+v", res.Points)
+		}
+		prev = p.ProbePairs
+		if p.GICostMS <= 0 {
+			t.Fatalf("non-positive cost at M=%d", p.M)
+		}
+	}
+}
+
+func TestAblationProbeNoiseShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	res, err := AblationProbeNoise(testOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extreme noise must be worse than no noise for the greedy selector.
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.GreedyMS <= first.GreedyMS {
+		t.Fatalf("greedy accuracy did not degrade with noise: %v -> %v", first.GreedyMS, last.GreedyMS)
+	}
+}
+
+func TestAblationFailuresShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	res, err := AblationFailures(testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.SLMS <= 0 || p.SDSLMS <= 0 {
+			t.Fatalf("non-positive latency at failed frac %v", p.FailedFrac)
+		}
+	}
+	// Heavy failure must not be better than no failure (cooperation lost).
+	if res.Points[len(res.Points)-1].SLMS < res.Points[0].SLMS*0.95 {
+		t.Fatalf("failures improved SL latency: %+v", res.Points)
+	}
+}
+
+func TestRepresentationStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	res, err := RepresentationStudy(Options{Seed: 11, Scale: 0.16, Parallelism: 4, Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.FeatureVecMS <= 0 || p.GNPMS <= 0 || p.VivaldiMS <= 0 {
+			t.Fatalf("degenerate costs at K=%d: %+v", p.K, p)
+		}
+		// All three representations within a loose factor of each other.
+		hi := p.FeatureVecMS
+		lo := p.FeatureVecMS
+		for _, v := range []float64{p.GNPMS, p.VivaldiMS} {
+			if v > hi {
+				hi = v
+			}
+			if v < lo {
+				lo = v
+			}
+		}
+		if hi > lo*3 {
+			t.Fatalf("representations diverge at K=%d: %+v", p.K, p)
+		}
+	}
+}
+
+func TestAblationBeaconsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	res, err := AblationBeacons(testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points[0].Beacons != 0 {
+		t.Fatal("first point must be the multicast model")
+	}
+	for _, p := range res.Points {
+		if p.LatencyMS <= 0 {
+			t.Fatalf("degenerate latency at beacons=%d", p.Beacons)
+		}
+		if p.GroupRate <= 0 {
+			t.Fatalf("no group hits at beacons=%d", p.Beacons)
+		}
+	}
+}
+
+func TestAblationCachePolicyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	res, err := AblationCachePolicy(testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	util, lru := res.Points[0], res.Points[1]
+	if util.Policy != "utility" || lru.Policy != "lru" {
+		t.Fatalf("policies = %q/%q", util.Policy, lru.Policy)
+	}
+	// Utility must not be clearly worse.
+	if util.LatencyMS > lru.LatencyMS*1.1 {
+		t.Fatalf("utility latency %v clearly worse than LRU %v", util.LatencyMS, lru.LatencyMS)
+	}
+	if util.OriginKB <= 0 || lru.OriginKB <= 0 {
+		t.Fatal("origin load not recorded")
+	}
+}
+
+func TestSubstrateStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	res, err := SubstrateStudy(Options{Seed: 11, Scale: 0.2, Parallelism: 2, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		// The landmark ordering must hold on both substrates (aggregate).
+		if p.GreedyMS >= p.MinDistMS {
+			t.Fatalf("%s: greedy %v not better than min-dist %v", p.Substrate, p.GreedyMS, p.MinDistMS)
+		}
+		if p.SLLatMS <= 0 || p.SDSLLatMS <= 0 {
+			t.Fatalf("%s: degenerate latencies", p.Substrate)
+		}
+	}
+}
+
+func TestProbeOverheadStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	res, err := ProbeOverheadStudy(testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OracleMS <= 0 {
+		t.Fatal("oracle ceiling not computed")
+	}
+	var prevProbes int64
+	for i, p := range res.Points {
+		if p.GICostMS <= 0 || p.ProbesSent <= 0 {
+			t.Fatalf("degenerate point %d: %+v", i, p)
+		}
+		// Higher (L, M) always costs at least as many probes within the
+		// ordered config list's same-L steps.
+		if i > 0 && res.Points[i-1].L == p.L && p.ProbesSent < prevProbes {
+			t.Fatalf("probe bill not monotone in M at point %d", i)
+		}
+		prevProbes = p.ProbesSent
+	}
+	// The largest config must send more probes than the smallest.
+	if res.Points[len(res.Points)-1].ProbesSent <= res.Points[0].ProbesSent {
+		t.Fatal("largest config not more expensive than smallest")
+	}
+}
+
+func TestFreshnessStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	res, err := FreshnessStudy(testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.TotalHolders <= 0 || p.OriginMsgs <= 0 {
+			t.Fatalf("degenerate point: %+v", p)
+		}
+		if p.OriginMsgs > p.TotalHolders {
+			t.Fatalf("origin msgs exceed per-cache bill: %+v", p)
+		}
+		if p.Savings < 0 || p.Savings >= 1 {
+			t.Fatalf("savings out of range: %+v", p)
+		}
+	}
+	// Fewer groups (small K) must save at least as much as many groups.
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if first.Savings < last.Savings {
+		t.Fatalf("savings not decreasing with K: K=%d %.2f vs K=%d %.2f",
+			first.K, first.Savings, last.K, last.Savings)
+	}
+}

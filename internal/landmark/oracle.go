@@ -1,0 +1,69 @@
+package landmark
+
+import (
+	"edgecachegroups/internal/probe"
+	"edgecachegroups/internal/simrand"
+	"edgecachegroups/internal/topology"
+)
+
+// Oracle is an idealized selector that runs the same greedy max-min
+// algorithm as the SL scheme but over TRUE (noise-free) RTTs and over the
+// entire cache set rather than a sampled PLSet. It is an upper bound on
+// what landmark selection can achieve: the gap between Oracle and Greedy
+// quantifies what the PLSet sampling and measurement noise cost.
+//
+// Oracle is not deployable (it assumes free global knowledge); it exists
+// for ablations and tests.
+type Oracle struct{}
+
+var _ Selector = Oracle{}
+
+// Name implements Selector.
+func (Oracle) Name() string { return "oracle" }
+
+// Select implements Selector.
+func (Oracle) Select(p *probe.Prober, numCaches int, params Params, _ *simrand.Source) ([]probe.Endpoint, error) {
+	if err := params.Validate(numCaches); err != nil {
+		return nil, err
+	}
+	// Candidate set: every cache.
+	all := make([]probe.Endpoint, 0, numCaches+1)
+	all = append(all, probe.Origin())
+	for i := 0; i < numCaches; i++ {
+		all = append(all, probe.Cache(topology.CacheIndex(i)))
+	}
+
+	chosen := []int{0}
+	inSet := make([]bool, len(all))
+	inSet[0] = true
+	minToSet := make([]float64, len(all))
+	for i := range minToSet {
+		minToSet[i] = p.TrueRTT(all[i], all[0])
+	}
+	for len(chosen) < params.L {
+		best := -1
+		for i := 1; i < len(all); i++ {
+			if inSet[i] {
+				continue
+			}
+			if best < 0 || minToSet[i] > minToSet[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen = append(chosen, best)
+		inSet[best] = true
+		for i := range minToSet {
+			if d := p.TrueRTT(all[i], all[best]); d < minToSet[i] {
+				minToSet[i] = d
+			}
+		}
+	}
+	out := make([]probe.Endpoint, len(chosen))
+	for i, idx := range chosen {
+		out[i] = all[idx]
+	}
+	return out, nil
+}

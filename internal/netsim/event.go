@@ -1,0 +1,54 @@
+// Package netsim implements a discrete event simulator for the cooperative
+// edge cache network (the paper's evaluation substrate, §5). Edge caches
+// are driven by request logs; the origin server replays an update log;
+// caches inside a cooperative group handle misses cooperatively before
+// falling back to the origin server.
+package netsim
+
+import (
+	"container/heap"
+
+	"edgecachegroups/internal/topology"
+	"edgecachegroups/internal/workload"
+)
+
+// eventKind discriminates simulator events.
+type eventKind int
+
+const (
+	evRequest eventKind = iota + 1
+	evUpdate
+	evFetchComplete
+)
+
+// event is one entry in the simulation's event queue.
+type event struct {
+	timeSec float64
+	seq     int64 // tie-breaker for deterministic ordering
+	kind    eventKind
+	cache   topology.CacheIndex
+	doc     workload.DocID
+	version int64 // version carried by fetch completions
+}
+
+// eventQueue is a min-heap over (timeSec, seq).
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].timeSec != q[j].timeSec {
+		return q[i].timeSec < q[j].timeSec
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}
+
+var _ heap.Interface = (*eventQueue)(nil)

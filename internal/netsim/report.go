@@ -1,0 +1,167 @@
+package netsim
+
+import (
+	"fmt"
+
+	"edgecachegroups/internal/metrics"
+	"edgecachegroups/internal/topology"
+)
+
+// outcome classifies how a request was served.
+type outcome int
+
+const (
+	outcomeLocal outcome = iota + 1
+	outcomeGroup
+	outcomeOrigin
+	outcomeFailover
+)
+
+// GroupStat aggregates per-cooperative-group counters.
+type GroupStat struct {
+	// Requests is the number of recorded requests arriving at the group's
+	// members.
+	Requests int64
+	// LocalHits / GroupHits / OriginFetches classify those requests.
+	LocalHits     int64
+	GroupHits     int64
+	OriginFetches int64
+
+	latencySum float64
+}
+
+// MeanLatency returns the group's average latency, or 0 with no requests.
+func (g *GroupStat) MeanLatency() float64 {
+	if g.Requests == 0 {
+		return 0
+	}
+	return g.latencySum / float64(g.Requests)
+}
+
+// GroupHitRate returns the share of the group's requests served by a peer.
+func (g *GroupStat) GroupHitRate() float64 {
+	if g.Requests == 0 {
+		return 0
+	}
+	return float64(g.GroupHits) / float64(g.Requests)
+}
+
+// Report aggregates the outcome of one simulation run.
+type Report struct {
+	// Overall aggregates latency over every recorded request.
+	Overall metrics.LatencyStats
+	// PerCache aggregates latency per edge cache.
+	PerCache []metrics.LatencyStats
+	// PerGroup aggregates counters per cooperative group.
+	PerGroup []GroupStat
+
+	// LocalHits counts fresh local cache hits.
+	LocalHits int64
+	// GroupHits counts requests served by a cooperative group peer.
+	GroupHits int64
+	// OriginFetches counts requests served by the origin after a group-wide
+	// miss.
+	OriginFetches int64
+	// FailoverFetches counts requests at failed caches routed straight to
+	// the origin.
+	FailoverFetches int64
+	// Updates counts applied origin updates.
+	Updates int64
+	// OriginKB is the total volume fetched from the origin server — the
+	// origin load that cooperation exists to reduce.
+	OriginKB float64
+	// InvalidationsOrigin counts invalidation messages the origin sent
+	// (one per group holding an updated document; push mode only).
+	InvalidationsOrigin int64
+	// InvalidationsForwarded counts intra-group invalidation forwards
+	// (push mode only). Origin + forwarded equals the per-cache push bill,
+	// so InvalidationsOrigin alone is the origin's saving.
+	InvalidationsForwarded int64
+
+	requests int64
+	groupOf  []int
+}
+
+func newReport(numCaches, numGroups int, groupOf []int) *Report {
+	return &Report{
+		PerCache: make([]metrics.LatencyStats, numCaches),
+		PerGroup: make([]GroupStat, numGroups),
+		groupOf:  groupOf,
+	}
+}
+
+func (r *Report) record(c topology.CacheIndex, latencyMS float64, how outcome) {
+	r.Overall.Add(latencyMS)
+	r.PerCache[int(c)].Add(latencyMS)
+	r.requests++
+	switch how {
+	case outcomeLocal:
+		r.LocalHits++
+	case outcomeGroup:
+		r.GroupHits++
+	case outcomeOrigin:
+		r.OriginFetches++
+	case outcomeFailover:
+		r.FailoverFetches++
+	}
+	if len(r.groupOf) > int(c) {
+		g := &r.PerGroup[r.groupOf[int(c)]]
+		g.Requests++
+		g.latencySum += latencyMS
+		switch how {
+		case outcomeLocal:
+			g.LocalHits++
+		case outcomeGroup:
+			g.GroupHits++
+		case outcomeOrigin, outcomeFailover:
+			g.OriginFetches++
+		}
+	}
+}
+
+// Requests returns the number of recorded (post-warmup) requests.
+func (r *Report) Requests() int64 { return r.requests }
+
+// MeanLatency returns the network-wide average edge cache latency — the
+// paper's client-side performance metric.
+func (r *Report) MeanLatency() float64 { return r.Overall.Mean() }
+
+// MeanLatencyOf returns the average latency over a subset of caches (used
+// for the paper's 50-nearest / 50-farthest breakdown in Fig 3). Caches with
+// no recorded requests are skipped.
+func (r *Report) MeanLatencyOf(subset []topology.CacheIndex) float64 {
+	var sum float64
+	var count int64
+	for _, c := range subset {
+		if int(c) < 0 || int(c) >= len(r.PerCache) {
+			continue
+		}
+		st := &r.PerCache[int(c)]
+		if st.Count() == 0 {
+			continue
+		}
+		sum += st.Mean() * float64(st.Count())
+		count += int64(st.Count())
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// HitRates returns the local, group, and origin shares of recorded
+// requests (excluding failover traffic).
+func (r *Report) HitRates() (local, group, origin float64) {
+	total := float64(r.LocalHits + r.GroupHits + r.OriginFetches)
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return float64(r.LocalHits) / total, float64(r.GroupHits) / total, float64(r.OriginFetches) / total
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (r *Report) String() string {
+	l, g, o := r.HitRates()
+	return fmt.Sprintf("requests=%d meanLatency=%.2fms local=%.1f%% group=%.1f%% origin=%.1f%% updates=%d",
+		r.requests, r.MeanLatency(), l*100, g*100, o*100, r.Updates)
+}

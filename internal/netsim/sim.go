@@ -1,0 +1,502 @@
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"edgecachegroups/internal/cache"
+	"edgecachegroups/internal/topology"
+	"edgecachegroups/internal/workload"
+)
+
+// Config tunes the simulator's latency and cache model.
+type Config struct {
+	// LocalHitMS is the service time of a fresh local hit.
+	LocalHitMS float64
+	// OriginProcessingMS is the origin server's per-request processing time.
+	OriginProcessingMS float64
+	// RTTsPerTransfer scales RTT into a document transfer cost (TCP setup
+	// plus data round trips).
+	RTTsPerTransfer float64
+	// PerKBMS adds a size-proportional transfer cost.
+	PerKBMS float64
+	// GroupLookupFactor scales the cooperative lookup overhead: a miss at
+	// cache i costs GroupLookupFactor × (mean RTT from i to its live group
+	// peers) before the document is served from a peer or the origin.
+	GroupLookupFactor float64
+	// CacheCapacityKB is the per-cache storage budget.
+	CacheCapacityKB float64
+	// CachePolicy selects the replacement policy (zero = utility-based,
+	// the paper's setting; cache.PolicyLRU gives the classic baseline).
+	CachePolicy cache.Policy
+	// BeaconsPerGroup switches cooperative lookups to the Cache Clouds
+	// beacon-point mechanism: each group designates this many beacon
+	// members; each document hashes to one responsible beacon, which the
+	// requesting cache queries before fetching from a holder or the
+	// origin. Zero keeps the default multicast-style model.
+	BeaconsPerGroup int
+	// PushInvalidation makes origin updates actively invalidate cached
+	// copies through the groups ("collaborative document freshness
+	// maintenance"): the origin sends one invalidation per group holding
+	// the document and the group fans it out internally. The report
+	// records the origin's message savings versus per-cache push.
+	PushInvalidation bool
+	// TraceFn, when set, is invoked synchronously for every recorded
+	// request with its routing outcome — an observability hook for custom
+	// analyses. It must not retain the trace beyond the call.
+	TraceFn func(RequestTrace)
+	// WarmupSec excludes the initial cold-cache phase from latency
+	// statistics (events still execute).
+	WarmupSec float64
+	// FailedCaches lists caches that are down for the whole run: they serve
+	// no cooperative lookups and their own clients fail over to the origin.
+	FailedCaches []topology.CacheIndex
+}
+
+// DefaultConfig returns the latency model used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		LocalHitMS:         1,
+		OriginProcessingMS: 5,
+		RTTsPerTransfer:    2,
+		PerKBMS:            0.02,
+		GroupLookupFactor:  1,
+		CacheCapacityKB:    600,
+		WarmupSec:          0,
+	}
+}
+
+// Validate reports whether the config is usable for a network of numCaches
+// caches.
+func (c Config) Validate(numCaches int) error {
+	switch {
+	case c.LocalHitMS < 0:
+		return fmt.Errorf("netsim: LocalHitMS must be >= 0, got %v", c.LocalHitMS)
+	case c.OriginProcessingMS < 0:
+		return fmt.Errorf("netsim: OriginProcessingMS must be >= 0, got %v", c.OriginProcessingMS)
+	case c.RTTsPerTransfer <= 0:
+		return fmt.Errorf("netsim: RTTsPerTransfer must be > 0, got %v", c.RTTsPerTransfer)
+	case c.PerKBMS < 0:
+		return fmt.Errorf("netsim: PerKBMS must be >= 0, got %v", c.PerKBMS)
+	case c.GroupLookupFactor < 0:
+		return fmt.Errorf("netsim: GroupLookupFactor must be >= 0, got %v", c.GroupLookupFactor)
+	case c.CacheCapacityKB <= 0:
+		return fmt.Errorf("netsim: CacheCapacityKB must be > 0, got %v", c.CacheCapacityKB)
+	case c.WarmupSec < 0:
+		return fmt.Errorf("netsim: WarmupSec must be >= 0, got %v", c.WarmupSec)
+	}
+	switch c.CachePolicy {
+	case 0, cache.PolicyUtility, cache.PolicyLRU:
+	default:
+		return fmt.Errorf("netsim: unknown cache policy %v", c.CachePolicy)
+	}
+	if c.BeaconsPerGroup < 0 {
+		return fmt.Errorf("netsim: BeaconsPerGroup must be >= 0, got %d", c.BeaconsPerGroup)
+	}
+	for _, f := range c.FailedCaches {
+		if int(f) < 0 || int(f) >= numCaches {
+			return fmt.Errorf("netsim: failed cache %d out of range [0,%d)", f, numCaches)
+		}
+	}
+	return nil
+}
+
+// Simulator executes a cooperative edge cache network run. Build one with
+// New, then call Run exactly once.
+type Simulator struct {
+	nw      *topology.Network
+	catalog *workload.Catalog
+	cfg     Config
+
+	caches    []*cache.EdgeCache
+	peers     [][]topology.CacheIndex // live group peers of each cache (excl. self)
+	lookup    []float64               // cooperative lookup overhead per cache
+	failed    []bool
+	version   []int64 // current document versions
+	groupOf   []int   // group ID of each cache
+	numGroups int
+	beacons   [][]topology.CacheIndex // per-group beacon members (beacon mode)
+
+	queue         eventQueue
+	seq           int64
+	ran           bool
+	holderScratch []topology.CacheIndex // reused per-request holder buffer
+}
+
+// New builds a simulator for the given group partition. groups must cover
+// every cache exactly once.
+func New(nw *topology.Network, groups [][]topology.CacheIndex, catalog *workload.Catalog, cfg Config) (*Simulator, error) {
+	if nw == nil {
+		return nil, errors.New("netsim: nil network")
+	}
+	if catalog == nil {
+		return nil, errors.New("netsim: nil catalog")
+	}
+	n := nw.NumCaches()
+	if err := cfg.Validate(n); err != nil {
+		return nil, err
+	}
+
+	// Validate the partition.
+	groupOf := make([]int, n)
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	for g, members := range groups {
+		for _, c := range members {
+			if int(c) < 0 || int(c) >= n {
+				return nil, fmt.Errorf("netsim: group %d references cache %d, out of range [0,%d)", g, c, n)
+			}
+			if groupOf[int(c)] != -1 {
+				return nil, fmt.Errorf("netsim: cache %d appears in groups %d and %d", c, groupOf[int(c)], g)
+			}
+			groupOf[int(c)] = g
+		}
+	}
+	for i, g := range groupOf {
+		if g == -1 {
+			return nil, fmt.Errorf("netsim: cache %d not assigned to any group", i)
+		}
+	}
+
+	failed := make([]bool, n)
+	for _, f := range cfg.FailedCaches {
+		failed[int(f)] = true
+	}
+
+	s := &Simulator{
+		nw:        nw,
+		catalog:   catalog,
+		cfg:       cfg,
+		caches:    make([]*cache.EdgeCache, n),
+		peers:     make([][]topology.CacheIndex, n),
+		lookup:    make([]float64, n),
+		failed:    failed,
+		version:   make([]int64, catalog.NumDocuments()),
+		groupOf:   groupOf,
+		numGroups: len(groups),
+	}
+
+	for i := 0; i < n; i++ {
+		ci := topology.CacheIndex(i)
+		missPenalty := cfg.OriginProcessingMS + s.transferCost(nw.DistToOrigin(ci), catalog.MeanSizeKB())
+		ec, err := cache.New(cache.Config{
+			CapacityKB:    cfg.CacheCapacityKB,
+			MissPenaltyMS: missPenalty,
+			Policy:        cfg.CachePolicy,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cache %d: %w", i, err)
+		}
+		s.caches[i] = ec
+	}
+
+	// Precompute live peers and cooperative lookup overheads.
+	for _, members := range groups {
+		for _, c := range members {
+			if failed[int(c)] {
+				continue
+			}
+			var ps []topology.CacheIndex
+			var sum float64
+			for _, other := range members {
+				if other == c || failed[int(other)] {
+					continue
+				}
+				ps = append(ps, other)
+				sum += nw.Dist(c, other)
+			}
+			s.peers[int(c)] = ps
+			if len(ps) > 0 {
+				s.lookup[int(c)] = cfg.GroupLookupFactor * sum / float64(len(ps))
+			}
+		}
+	}
+
+	if cfg.BeaconsPerGroup > 0 {
+		s.beacons = make([][]topology.CacheIndex, len(groups))
+		for g, members := range groups {
+			s.beacons[g] = chooseBeacons(nw, members, failed, cfg.BeaconsPerGroup)
+		}
+	}
+	return s, nil
+}
+
+// chooseBeacons picks the b most central live members of a group (lowest
+// total RTT to the other members) as its beacon points, mirroring Cache
+// Clouds' placement of per-group lookup machinery.
+func chooseBeacons(nw *topology.Network, members []topology.CacheIndex, failed []bool, b int) []topology.CacheIndex {
+	type cand struct {
+		c    topology.CacheIndex
+		cost float64
+	}
+	var cands []cand
+	for _, c := range members {
+		if failed[int(c)] {
+			continue
+		}
+		var sum float64
+		for _, o := range members {
+			if o != c && !failed[int(o)] {
+				sum += nw.Dist(c, o)
+			}
+		}
+		cands = append(cands, cand{c: c, cost: sum})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].cost != cands[j].cost {
+			return cands[i].cost < cands[j].cost
+		}
+		return cands[i].c < cands[j].c
+	})
+	if b > len(cands) {
+		b = len(cands)
+	}
+	out := make([]topology.CacheIndex, b)
+	for i := 0; i < b; i++ {
+		out[i] = cands[i].c
+	}
+	return out
+}
+
+// trace invokes the TraceFn hook for a recorded request.
+func (s *Simulator) trace(ev event, how Outcome, latencyMS float64, peer topology.CacheIndex) {
+	if s.cfg.TraceFn == nil {
+		return
+	}
+	s.cfg.TraceFn(RequestTrace{
+		TimeSec:   ev.timeSec,
+		Cache:     ev.cache,
+		Group:     s.groupOf[int(ev.cache)],
+		Doc:       ev.doc,
+		Outcome:   how,
+		LatencyMS: latencyMS,
+		Peer:      peer,
+	})
+}
+
+// transferCost models moving a document of the given size across a path
+// with the given RTT.
+func (s *Simulator) transferCost(rtt, sizeKB float64) float64 {
+	return rtt*s.cfg.RTTsPerTransfer + sizeKB*s.cfg.PerKBMS
+}
+
+// push enqueues an event with a fresh sequence number.
+func (s *Simulator) push(ev event) {
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, ev)
+}
+
+// Run replays the request and update logs and returns the collected
+// report. Run may be called only once per Simulator.
+func (s *Simulator) Run(requests []workload.Request, updates []workload.Update) (*Report, error) {
+	if s.ran {
+		return nil, errors.New("netsim: Run called twice")
+	}
+	s.ran = true
+
+	s.queue = make(eventQueue, 0, len(requests)+len(updates))
+	for _, r := range requests {
+		if int(r.Cache) < 0 || int(r.Cache) >= len(s.caches) {
+			return nil, fmt.Errorf("netsim: request for unknown cache %d", r.Cache)
+		}
+		if _, err := s.catalog.Doc(r.Doc); err != nil {
+			return nil, fmt.Errorf("netsim: request: %w", err)
+		}
+		s.push(event{timeSec: r.TimeSec, kind: evRequest, cache: r.Cache, doc: r.Doc})
+	}
+	for _, u := range updates {
+		if _, err := s.catalog.Doc(u.Doc); err != nil {
+			return nil, fmt.Errorf("netsim: update: %w", err)
+		}
+		s.push(event{timeSec: u.TimeSec, kind: evUpdate, doc: u.Doc})
+	}
+
+	rep := newReport(len(s.caches), s.numGroups, s.groupOf)
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(event)
+		switch ev.kind {
+		case evRequest:
+			s.handleRequest(ev, rep)
+		case evUpdate:
+			s.version[int(ev.doc)]++
+			rep.Updates++
+			if s.cfg.PushInvalidation {
+				s.pushInvalidate(ev.doc, rep)
+			}
+		case evFetchComplete:
+			s.handleFetchComplete(ev)
+		}
+	}
+	return rep, nil
+}
+
+// handleRequest serves one client request and records its latency.
+func (s *Simulator) handleRequest(ev event, rep *Report) {
+	i := int(ev.cache)
+	now := ev.timeSec
+	record := now >= s.cfg.WarmupSec
+	cur := s.version[int(ev.doc)]
+	d, _ := s.catalog.Doc(ev.doc) // validated during Run setup
+
+	// A failed cache's clients fail over directly to the origin.
+	if s.failed[i] {
+		lat := s.cfg.OriginProcessingMS + s.transferCost(s.nw.DistToOrigin(ev.cache), d.SizeKB)
+		if record {
+			rep.record(ev.cache, lat, outcomeFailover)
+			rep.OriginKB += d.SizeKB
+			s.trace(ev, OutcomeFailover, lat, -1)
+		}
+		return
+	}
+
+	// 1. Local lookup.
+	if s.caches[i].Lookup(ev.doc, cur, now) {
+		if record {
+			rep.record(ev.cache, s.cfg.LocalHitMS, outcomeLocal)
+			s.trace(ev, OutcomeLocal, s.cfg.LocalHitMS, -1)
+		}
+		return
+	}
+
+	if s.cfg.BeaconsPerGroup > 0 {
+		s.handleRequestBeacon(ev, rep, d, cur, now, record)
+		return
+	}
+
+	// 2. Cooperative lookup within the group. On a hit, the group's
+	// lookup machinery (beacon/directory in Cache Clouds terms) returns
+	// one fresh holder — not necessarily the nearest — so the expected
+	// transfer distance tracks the group's average pairwise RTT, which is
+	// exactly the paper's group interaction cost. The holder choice is a
+	// deterministic hash over (document, requester) for reproducibility.
+	// On a group-wide miss, the cache waits out its peers' negative
+	// answers (the precomputed lookup[i] overhead) before escalating to
+	// the origin.
+	lat := s.cfg.LocalHitMS
+	if len(s.peers[i]) > 0 {
+		holders := s.holderScratch[:0]
+		for _, p := range s.peers[i] {
+			if s.caches[int(p)].Contains(ev.doc, cur) {
+				holders = append(holders, p)
+			}
+		}
+		s.holderScratch = holders[:0]
+		if len(holders) > 0 {
+			h := (uint64(ev.doc)*2654435761 + uint64(ev.cache)*40503) % uint64(len(holders))
+			holder := holders[h]
+			lat += s.transferCost(s.nw.Dist(ev.cache, holder), d.SizeKB)
+			if record {
+				rep.record(ev.cache, lat, outcomeGroup)
+				s.trace(ev, OutcomeGroup, lat, holder)
+			}
+			s.scheduleInsert(ev.cache, ev.doc, cur, now, lat)
+			return
+		}
+		lat += s.lookup[i]
+	}
+
+	// 3. Miss everywhere: fetch from the origin server.
+	lat += s.cfg.OriginProcessingMS + s.transferCost(s.nw.DistToOrigin(ev.cache), d.SizeKB)
+	if record {
+		rep.record(ev.cache, lat, outcomeOrigin)
+		rep.OriginKB += d.SizeKB
+		s.trace(ev, OutcomeOrigin, lat, -1)
+	}
+	s.scheduleInsert(ev.cache, ev.doc, cur, now, lat)
+}
+
+// handleRequestBeacon serves a local miss through the Cache Clouds beacon
+// mechanism: the requesting cache queries the beacon responsible for the
+// document (hash-partitioned within the group); the beacon either directs
+// it to the nearest fresh holder or reports a group-wide miss, after which
+// the cache fetches from the origin.
+func (s *Simulator) handleRequestBeacon(ev event, rep *Report, d workload.Document, cur int64, now float64, record bool) {
+	i := int(ev.cache)
+	lat := s.cfg.LocalHitMS
+	beacons := s.beacons[s.groupOf[i]]
+	if len(beacons) > 0 {
+		beacon := beacons[uint64(ev.doc)%uint64(len(beacons))]
+		// Directory round trip (skipped when the requester is the beacon).
+		if beacon != ev.cache {
+			lat += s.cfg.GroupLookupFactor * s.nw.Dist(ev.cache, beacon)
+		}
+		best := -1
+		var bestRTT float64
+		for _, p := range s.peers[i] {
+			if !s.caches[int(p)].Contains(ev.doc, cur) {
+				continue
+			}
+			if rtt := s.nw.Dist(ev.cache, p); best < 0 || rtt < bestRTT {
+				best, bestRTT = int(p), rtt
+			}
+		}
+		if best >= 0 {
+			lat += s.transferCost(bestRTT, d.SizeKB)
+			if record {
+				rep.record(ev.cache, lat, outcomeGroup)
+				s.trace(ev, OutcomeGroup, lat, topology.CacheIndex(best))
+			}
+			s.scheduleInsert(ev.cache, ev.doc, cur, now, lat)
+			return
+		}
+	}
+	lat += s.cfg.OriginProcessingMS + s.transferCost(s.nw.DistToOrigin(ev.cache), d.SizeKB)
+	if record {
+		rep.record(ev.cache, lat, outcomeOrigin)
+		rep.OriginKB += d.SizeKB
+		s.trace(ev, OutcomeOrigin, lat, -1)
+	}
+	s.scheduleInsert(ev.cache, ev.doc, cur, now, lat)
+}
+
+// scheduleInsert queues the arrival of a fetched document copy.
+func (s *Simulator) scheduleInsert(c topology.CacheIndex, doc workload.DocID, version int64, now, latencyMS float64) {
+	s.push(event{
+		timeSec: now + latencyMS/1000,
+		kind:    evFetchComplete,
+		cache:   c,
+		doc:     doc,
+		version: version,
+	})
+}
+
+// handleFetchComplete admits a fetched document if it is still current.
+func (s *Simulator) handleFetchComplete(ev event) {
+	if s.version[int(ev.doc)] != ev.version {
+		return // updated while in flight; don't cache a stale copy
+	}
+	d, _ := s.catalog.Doc(ev.doc)
+	// Insert errors (document larger than the whole cache) deliberately
+	// degrade to "not cached": the request was already served.
+	_ = s.caches[int(ev.cache)].Insert(d, ev.version, ev.timeSec)
+}
+
+// pushInvalidate actively drops every cached copy of doc and accounts for
+// the invalidation traffic: one origin message per group holding the
+// document, plus intra-group forwards to the remaining holders. Without
+// groups the origin would message every holder directly.
+func (s *Simulator) pushInvalidate(doc workload.DocID, rep *Report) {
+	groupHolders := make(map[int]int)
+	for i, ec := range s.caches {
+		if ec.Invalidate(doc) {
+			groupHolders[s.groupOf[i]]++
+		}
+	}
+	for _, holders := range groupHolders {
+		rep.InvalidationsOrigin++
+		rep.InvalidationsForwarded += int64(holders - 1)
+	}
+}
+
+// CacheStats exposes the per-cache counters after a run, for diagnostics
+// and tests.
+func (s *Simulator) CacheStats(i topology.CacheIndex) (cache.Stats, error) {
+	if int(i) < 0 || int(i) >= len(s.caches) {
+		return cache.Stats{}, fmt.Errorf("netsim: cache %d out of range", i)
+	}
+	return s.caches[int(i)].Stats(), nil
+}

@@ -1,0 +1,58 @@
+package netsim
+
+import (
+	"fmt"
+
+	"edgecachegroups/internal/topology"
+	"edgecachegroups/internal/workload"
+)
+
+// Outcome classifies how a request was served, for trace consumers.
+type Outcome int
+
+// Request outcomes.
+const (
+	// OutcomeLocal is a fresh local cache hit.
+	OutcomeLocal Outcome = iota + 1
+	// OutcomeGroup is a cooperative hit at a group peer.
+	OutcomeGroup
+	// OutcomeOrigin is an origin fetch after a group-wide miss.
+	OutcomeOrigin
+	// OutcomeFailover is a request at a failed cache routed straight to
+	// the origin.
+	OutcomeFailover
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeLocal:
+		return "local"
+	case OutcomeGroup:
+		return "group"
+	case OutcomeOrigin:
+		return "origin"
+	case OutcomeFailover:
+		return "failover"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// RequestTrace describes one served request for the Config.TraceFn hook.
+type RequestTrace struct {
+	// TimeSec is the request's arrival time.
+	TimeSec float64
+	// Cache is the edge cache the request arrived at.
+	Cache topology.CacheIndex
+	// Group is the cache's cooperative group.
+	Group int
+	// Doc is the requested document.
+	Doc workload.DocID
+	// Outcome classifies the routing decision.
+	Outcome Outcome
+	// LatencyMS is the request's edge cache latency.
+	LatencyMS float64
+	// Peer is the serving group peer (OutcomeGroup only; -1 otherwise).
+	Peer topology.CacheIndex
+}

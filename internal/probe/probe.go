@@ -1,0 +1,302 @@
+// Package probe simulates the RTT measurement layer of the edge cache
+// network. In the paper, caches and the origin server determine their
+// relative positions by probing Internet landmarks multiple times and
+// averaging the observed round-trip times. Here the "network" is a
+// topology.Network, and a probe observes the true shortest-path RTT
+// perturbed by configurable measurement noise, with optional probe loss and
+// retries.
+//
+// All randomness is derived from per-pair split sources, so measurement
+// results are a pure function of (seed, endpoint pair) regardless of the
+// concurrency schedule.
+package probe
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"edgecachegroups/internal/simrand"
+	"edgecachegroups/internal/topology"
+)
+
+// Endpoint addresses a probe-capable node: the origin server or one of the
+// edge caches.
+type Endpoint struct {
+	origin bool
+	cache  topology.CacheIndex
+}
+
+// Origin returns the endpoint for the origin server.
+func Origin() Endpoint { return Endpoint{origin: true} }
+
+// Cache returns the endpoint for edge cache i.
+func Cache(i topology.CacheIndex) Endpoint { return Endpoint{cache: i} }
+
+// IsOrigin reports whether e addresses the origin server.
+func (e Endpoint) IsOrigin() bool { return e.origin }
+
+// CacheIndex returns the cache index; valid only when !IsOrigin().
+func (e Endpoint) CacheIndex() topology.CacheIndex { return e.cache }
+
+// String implements fmt.Stringer.
+func (e Endpoint) String() string {
+	if e.origin {
+		return "Os"
+	}
+	return fmt.Sprintf("Ec%d", int(e.cache))
+}
+
+// key returns a stable label for split-source derivation.
+func (e Endpoint) key() string {
+	if e.origin {
+		return "os"
+	}
+	return fmt.Sprintf("ec%d", int(e.cache))
+}
+
+// Config controls the measurement model.
+type Config struct {
+	// Samples is the number of probes averaged per measurement. Must be >= 1.
+	Samples int
+	// NoiseFrac is the standard deviation of multiplicative measurement
+	// noise as a fraction of the true RTT (e.g. 0.1 = 10%).
+	NoiseFrac float64
+	// FloorMS is an additive measurement floor in milliseconds; each sample
+	// gains |N(0, FloorMS)| to model queueing and clock granularity.
+	FloorMS float64
+	// LossProb is the probability that a single probe is lost.
+	LossProb float64
+	// MaxRetries is the number of retries for a lost probe.
+	MaxRetries int
+	// Parallelism bounds the worker pool for batch probing; 0 means a
+	// sensible default.
+	Parallelism int
+}
+
+// DefaultConfig returns the measurement model used in the experiments:
+// 5 samples, 8% multiplicative noise, 0.3ms floor, no loss.
+func DefaultConfig() Config {
+	return Config{
+		Samples:     5,
+		NoiseFrac:   0.08,
+		FloorMS:     0.3,
+		LossProb:    0,
+		MaxRetries:  3,
+		Parallelism: 8,
+	}
+}
+
+// Validate reports whether the config is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Samples < 1:
+		return fmt.Errorf("probe: Samples must be >= 1, got %d", c.Samples)
+	case c.NoiseFrac < 0 || math.IsNaN(c.NoiseFrac):
+		return fmt.Errorf("probe: NoiseFrac must be >= 0, got %v", c.NoiseFrac)
+	case c.FloorMS < 0:
+		return fmt.Errorf("probe: FloorMS must be >= 0, got %v", c.FloorMS)
+	case c.LossProb < 0 || c.LossProb >= 1:
+		return fmt.Errorf("probe: LossProb must be in [0,1), got %v", c.LossProb)
+	case c.MaxRetries < 0:
+		return fmt.Errorf("probe: MaxRetries must be >= 0, got %v", c.MaxRetries)
+	case c.Parallelism < 0:
+		return fmt.Errorf("probe: Parallelism must be >= 0, got %d", c.Parallelism)
+	}
+	return nil
+}
+
+// ErrProbeFailed is returned when every sample of a measurement was lost
+// despite retries.
+var ErrProbeFailed = errors.New("probe: all samples lost")
+
+// Prober measures RTTs over a placed network. It is safe for concurrent
+// use.
+type Prober struct {
+	nw   *topology.Network
+	cfg  Config
+	seed *simrand.Source
+
+	// measurement-overhead accounting (the paper repeatedly weighs scheme
+	// accuracy against probing overhead; these counters quantify it).
+	probesSent   atomic.Int64
+	measurements atomic.Int64
+}
+
+// NewProber builds a Prober over nw. The source seeds the per-pair
+// measurement streams.
+func NewProber(nw *topology.Network, cfg Config, src *simrand.Source) (*Prober, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nw == nil {
+		return nil, errors.New("probe: nil network")
+	}
+	return &Prober{nw: nw, cfg: cfg, seed: src}, nil
+}
+
+// Config returns the prober's configuration.
+func (p *Prober) Config() Config { return p.cfg }
+
+// TrueRTT returns the noiseless RTT between two endpoints.
+func (p *Prober) TrueRTT(a, b Endpoint) float64 {
+	switch {
+	case a.origin && b.origin:
+		return 0
+	case a.origin:
+		return p.nw.DistToOrigin(b.cache)
+	case b.origin:
+		return p.nw.DistToOrigin(a.cache)
+	default:
+		return p.nw.Dist(a.cache, b.cache)
+	}
+}
+
+// Measure performs a full measurement between a and b: Samples probes
+// (each retried on loss), averaged. The result is deterministic for a
+// given (seed, a, b) and symmetric in (a, b).
+func (p *Prober) Measure(a, b Endpoint) (float64, error) {
+	// Canonical pair order so Measure(a,b) == Measure(b,a).
+	ka, kb := a.key(), b.key()
+	if ka > kb {
+		ka, kb = kb, ka
+	}
+	src := p.seed.Split("pair/" + ka + "/" + kb)
+	trueRTT := p.TrueRTT(a, b)
+	p.measurements.Add(1)
+
+	var sum float64
+	var got int
+	for s := 0; s < p.cfg.Samples; s++ {
+		v, ok := p.sampleOnce(trueRTT, src)
+		if !ok {
+			continue
+		}
+		sum += v
+		got++
+	}
+	if got == 0 {
+		return 0, fmt.Errorf("measure %v<->%v: %w", a, b, ErrProbeFailed)
+	}
+	return sum / float64(got), nil
+}
+
+// sampleOnce draws one probe sample, retrying on loss. The boolean result
+// is false when the sample (and all its retries) were lost.
+func (p *Prober) sampleOnce(trueRTT float64, src *simrand.Source) (float64, bool) {
+	for attempt := 0; attempt <= p.cfg.MaxRetries; attempt++ {
+		p.probesSent.Add(1)
+		if p.cfg.LossProb > 0 && src.Float64() < p.cfg.LossProb {
+			continue
+		}
+		v := trueRTT * (1 + src.Normal(0, p.cfg.NoiseFrac))
+		if p.cfg.FloorMS > 0 {
+			v += math.Abs(src.Normal(0, p.cfg.FloorMS))
+		}
+		if v < 0 {
+			v = 0
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// MeasureTo measures from one endpoint to each target, fanning the probes
+// out across a bounded worker pool. Results align with targets.
+func (p *Prober) MeasureTo(from Endpoint, targets []Endpoint) ([]float64, error) {
+	out := make([]float64, len(targets))
+	errs := make([]error, len(targets))
+	p.forEach(len(targets), func(i int) {
+		out[i], errs[i] = p.Measure(from, targets[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("target %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// MeasureMatrix measures the full symmetric matrix among endpoints.
+// result[i][j] is the measured RTT between endpoints[i] and endpoints[j];
+// the diagonal is zero.
+func (p *Prober) MeasureMatrix(endpoints []Endpoint) ([][]float64, error) {
+	n := len(endpoints)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	type pair struct{ i, j int }
+	var pairs []pair
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	errs := make([]error, len(pairs))
+	p.forEach(len(pairs), func(k int) {
+		pr := pairs[k]
+		v, err := p.Measure(endpoints[pr.i], endpoints[pr.j])
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		out[pr.i][pr.j] = v
+		out[pr.j][pr.i] = v
+	})
+	for k, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("pair (%d,%d): %w", pairs[k].i, pairs[k].j, err)
+		}
+	}
+	return out, nil
+}
+
+// ProbesSent returns the total number of individual probe packets issued
+// (including retries) — the measurement overhead the landmark parameters
+// L and M trade off against accuracy.
+func (p *Prober) ProbesSent() int64 { return p.probesSent.Load() }
+
+// Measurements returns the number of completed Measure calls.
+func (p *Prober) Measurements() int64 { return p.measurements.Load() }
+
+// ResetCounters zeroes the overhead counters.
+func (p *Prober) ResetCounters() {
+	p.probesSent.Store(0)
+	p.measurements.Store(0)
+}
+
+// forEach runs fn(0..n-1) over the worker pool.
+func (p *Prober) forEach(n int, fn func(i int)) {
+	workers := p.cfg.Parallelism
+	if workers <= 0 {
+		workers = 8
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}

@@ -1,0 +1,347 @@
+package probe
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"edgecachegroups/internal/simrand"
+	"edgecachegroups/internal/topology"
+)
+
+func testNetwork(t *testing.T, numCaches int) *topology.Network {
+	t.Helper()
+	g, err := topology.GenerateTransitStub(topology.DefaultTransitStubParams(), simrand.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := topology.NewNetwork(g, topology.PlaceParams{NumCaches: numCaches}, simrand.New(78))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestEndpointString(t *testing.T) {
+	if got := Origin().String(); got != "Os" {
+		t.Fatalf("Origin String = %q", got)
+	}
+	if got := Cache(3).String(); got != "Ec3" {
+		t.Fatalf("Cache String = %q", got)
+	}
+	if !Origin().IsOrigin() {
+		t.Fatal("Origin().IsOrigin() = false")
+	}
+	if Cache(1).IsOrigin() {
+		t.Fatal("Cache(1).IsOrigin() = true")
+	}
+	if Cache(5).CacheIndex() != 5 {
+		t.Fatal("CacheIndex mismatch")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero samples", func(c *Config) { c.Samples = 0 }},
+		{"negative noise", func(c *Config) { c.NoiseFrac = -0.1 }},
+		{"nan noise", func(c *Config) { c.NoiseFrac = math.NaN() }},
+		{"negative floor", func(c *Config) { c.FloorMS = -1 }},
+		{"loss prob 1", func(c *Config) { c.LossProb = 1 }},
+		{"negative retries", func(c *Config) { c.MaxRetries = -1 }},
+		{"negative parallelism", func(c *Config) { c.Parallelism = -2 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := DefaultConfig()
+			tt.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestNewProberErrors(t *testing.T) {
+	nw := testNetwork(t, 5)
+	bad := DefaultConfig()
+	bad.Samples = 0
+	if _, err := NewProber(nw, bad, simrand.New(1)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := NewProber(nil, DefaultConfig(), simrand.New(1)); err == nil {
+		t.Fatal("nil network accepted")
+	}
+}
+
+func TestTrueRTT(t *testing.T) {
+	nw := testNetwork(t, 5)
+	p, err := NewProber(nw, DefaultConfig(), simrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.TrueRTT(Origin(), Origin()); got != 0 {
+		t.Fatalf("TrueRTT(Os,Os) = %v, want 0", got)
+	}
+	if got, want := p.TrueRTT(Origin(), Cache(2)), nw.DistToOrigin(2); got != want {
+		t.Fatalf("TrueRTT(Os,Ec2) = %v, want %v", got, want)
+	}
+	if got, want := p.TrueRTT(Cache(2), Origin()), nw.DistToOrigin(2); got != want {
+		t.Fatalf("TrueRTT(Ec2,Os) = %v, want %v", got, want)
+	}
+	if got, want := p.TrueRTT(Cache(1), Cache(3)), nw.Dist(1, 3); got != want {
+		t.Fatalf("TrueRTT(Ec1,Ec3) = %v, want %v", got, want)
+	}
+}
+
+func TestMeasureDeterministicAndSymmetric(t *testing.T) {
+	nw := testNetwork(t, 10)
+	p, err := NewProber(nw, DefaultConfig(), simrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := p.Measure(Cache(0), Cache(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := p.Measure(Cache(7), Cache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatalf("Measure not symmetric: %v vs %v", v1, v2)
+	}
+	v3, err := p.Measure(Cache(0), Cache(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v3 {
+		t.Fatalf("Measure not deterministic: %v vs %v", v1, v3)
+	}
+}
+
+func TestMeasureNoiseIsBounded(t *testing.T) {
+	nw := testNetwork(t, 20)
+	cfg := DefaultConfig()
+	cfg.NoiseFrac = 0.05
+	cfg.Samples = 11
+	p, err := NewProber(nw, cfg, simrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		got, err := p.Measure(Origin(), Cache(topology.CacheIndex(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trueRTT := nw.DistToOrigin(topology.CacheIndex(i))
+		// With 11 samples at 5% noise the mean should be within ~10%.
+		if math.Abs(got-trueRTT) > trueRTT*0.12+2 {
+			t.Fatalf("cache %d: measured %v, true %v", i, got, trueRTT)
+		}
+	}
+}
+
+func TestMeasureZeroNoiseIsExact(t *testing.T) {
+	nw := testNetwork(t, 5)
+	cfg := Config{Samples: 1}
+	p, err := NewProber(nw, cfg, simrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Measure(Cache(1), Cache(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := nw.Dist(1, 2); got != want {
+		t.Fatalf("zero-noise measure = %v, want %v", got, want)
+	}
+}
+
+func TestMeasureWithLossRetries(t *testing.T) {
+	nw := testNetwork(t, 5)
+	cfg := DefaultConfig()
+	cfg.LossProb = 0.4
+	cfg.MaxRetries = 10
+	p, err := NewProber(nw, cfg, simrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Measure(Cache(0), Cache(1)); err != nil {
+		t.Fatalf("measurement with retries failed: %v", err)
+	}
+}
+
+func TestMeasureAllLost(t *testing.T) {
+	nw := testNetwork(t, 5)
+	cfg := DefaultConfig()
+	cfg.LossProb = 0.99
+	cfg.MaxRetries = 0
+	cfg.Samples = 2
+	p, err := NewProber(nw, cfg, simrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 99% loss and no retries, some pair should fail quickly.
+	failed := false
+	for i := 0; i < 4 && !failed; i++ {
+		for j := i + 1; j < 5; j++ {
+			if _, err := p.Measure(Cache(topology.CacheIndex(i)), Cache(topology.CacheIndex(j))); err != nil {
+				if !errors.Is(err, ErrProbeFailed) {
+					t.Fatalf("wrong error type: %v", err)
+				}
+				failed = true
+				break
+			}
+		}
+	}
+	if !failed {
+		t.Fatal("expected at least one ErrProbeFailed at 99% loss")
+	}
+}
+
+func TestMeasureToAlignsWithTargets(t *testing.T) {
+	nw := testNetwork(t, 10)
+	p, err := NewProber(nw, DefaultConfig(), simrand.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []Endpoint{Origin(), Cache(3), Cache(9)}
+	got, err := p.MeasureTo(Cache(0), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d results, want 3", len(got))
+	}
+	for i, tgt := range targets {
+		want, err := p.Measure(Cache(0), tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Fatalf("MeasureTo[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestMeasureMatrixPropertiesAndConcurrencyInvariance(t *testing.T) {
+	nw := testNetwork(t, 12)
+	endpoints := []Endpoint{Origin()}
+	for i := 0; i < 12; i++ {
+		endpoints = append(endpoints, Cache(topology.CacheIndex(i)))
+	}
+
+	cfgSerial := DefaultConfig()
+	cfgSerial.Parallelism = 1
+	cfgPar := DefaultConfig()
+	cfgPar.Parallelism = 8
+
+	ps, err := NewProber(nw, cfgSerial, simrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := NewProber(nw, cfgPar, simrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := ps.MeasureMatrix(endpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := pp.MeasureMatrix(endpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(endpoints)
+	for i := 0; i < n; i++ {
+		if ms[i][i] != 0 {
+			t.Fatalf("diagonal [%d][%d] = %v, want 0", i, i, ms[i][i])
+		}
+		for j := 0; j < n; j++ {
+			if ms[i][j] != ms[j][i] {
+				t.Fatalf("matrix not symmetric at (%d,%d)", i, j)
+			}
+			if ms[i][j] != mp[i][j] {
+				t.Fatalf("parallelism changed measurement at (%d,%d): %v vs %v", i, j, ms[i][j], mp[i][j])
+			}
+		}
+	}
+}
+
+func TestMeasureNonNegativeProperty(t *testing.T) {
+	nw := testNetwork(t, 8)
+	f := func(seed int64) bool {
+		cfg := DefaultConfig()
+		cfg.NoiseFrac = 0.5 // extreme noise
+		p, err := NewProber(nw, cfg, simrand.New(seed))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 8; i++ {
+			v, err := p.Measure(Origin(), Cache(topology.CacheIndex(i)))
+			if err != nil || v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeCounters(t *testing.T) {
+	nw := testNetwork(t, 5)
+	cfg := DefaultConfig() // 5 samples, no loss
+	p, err := NewProber(nw, cfg, simrand.New(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ProbesSent() != 0 || p.Measurements() != 0 {
+		t.Fatal("fresh prober has non-zero counters")
+	}
+	if _, err := p.Measure(Cache(0), Cache(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Measurements(); got != 1 {
+		t.Fatalf("Measurements = %d, want 1", got)
+	}
+	if got := p.ProbesSent(); got != 5 {
+		t.Fatalf("ProbesSent = %d, want 5 (one per sample)", got)
+	}
+	if _, err := p.MeasureTo(Cache(0), []Endpoint{Origin(), Cache(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Measurements(); got != 3 {
+		t.Fatalf("Measurements after MeasureTo = %d, want 3", got)
+	}
+	p.ResetCounters()
+	if p.ProbesSent() != 0 || p.Measurements() != 0 {
+		t.Fatal("ResetCounters did not zero counters")
+	}
+}
+
+func TestProbeCountersIncludeRetries(t *testing.T) {
+	nw := testNetwork(t, 5)
+	cfg := DefaultConfig()
+	cfg.LossProb = 0.5
+	cfg.MaxRetries = 4
+	p, err := NewProber(nw, cfg, simrand.New(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Measure(Cache(0), Cache(1)); err != nil {
+		t.Fatal(err)
+	}
+	// With 50% loss, more packets than samples must have been sent.
+	if got := p.ProbesSent(); got <= int64(cfg.Samples) {
+		t.Fatalf("ProbesSent = %d, want > %d with retries", got, cfg.Samples)
+	}
+}

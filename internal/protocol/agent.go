@@ -1,0 +1,120 @@
+package protocol
+
+import (
+	"errors"
+	"sync"
+
+	"edgecachegroups/internal/probe"
+	"edgecachegroups/internal/topology"
+)
+
+// Agent is one edge cache's protocol endpoint: it answers probe requests
+// by measuring RTTs through the prober and records its eventual group
+// assignment.
+type Agent struct {
+	addr      Addr
+	prober    *probe.Prober
+	transport Transport
+	inbox     <-chan Message
+
+	mu      sync.Mutex
+	group   int
+	members []topology.CacheIndex
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+	done     chan struct{}
+}
+
+// NewAgent registers and starts the agent for cache i. Stop it with Stop.
+func NewAgent(i topology.CacheIndex, prober *probe.Prober, transport Transport) (*Agent, error) {
+	if prober == nil {
+		return nil, errors.New("protocol: nil prober")
+	}
+	if transport == nil {
+		return nil, errors.New("protocol: nil transport")
+	}
+	a := &Agent{
+		addr:      CacheAddr(i),
+		prober:    prober,
+		transport: transport,
+		inbox:     transport.Register(CacheAddr(i)),
+		group:     -1,
+		stopped:   make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	go a.loop()
+	return a, nil
+}
+
+// Addr returns the agent's address.
+func (a *Agent) Addr() Addr { return a.addr }
+
+// Group returns the agent's assigned group (-1 before assignment) and the
+// group's member list.
+func (a *Agent) Group() (int, []topology.CacheIndex) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	members := make([]topology.CacheIndex, len(a.members))
+	copy(members, a.members)
+	return a.group, members
+}
+
+// Stop signals the agent to exit and waits for it.
+func (a *Agent) Stop() {
+	a.stopOnce.Do(func() { close(a.stopped) })
+	<-a.done
+}
+
+// loop is the agent's actor body.
+func (a *Agent) loop() {
+	defer close(a.done)
+	for {
+		select {
+		case <-a.stopped:
+			return
+		case msg, ok := <-a.inbox:
+			if !ok {
+				return
+			}
+			a.handle(msg)
+		}
+	}
+}
+
+func (a *Agent) handle(msg Message) {
+	switch msg.Kind {
+	case MsgProbeRequest:
+		rtts := make([]float64, len(msg.Targets))
+		for i, tgt := range msg.Targets {
+			v, err := a.prober.Measure(probe.Cache(a.addr.Cache()), tgt)
+			if err != nil {
+				// A failed measurement is reported as a negative sentinel;
+				// the coordinator treats it as missing.
+				v = -1
+			}
+			rtts[i] = v
+		}
+		// Reply delivery failures are the coordinator's problem (it
+		// retries); the agent stays fire-and-forget.
+		_ = a.transport.Send(Message{
+			Kind: MsgProbeReply,
+			From: a.addr,
+			To:   msg.From,
+			Seq:  msg.Seq,
+			RTTs: rtts,
+		})
+	case MsgAssign:
+		a.mu.Lock()
+		a.group = msg.Group
+		a.members = append([]topology.CacheIndex(nil), msg.Members...)
+		a.mu.Unlock()
+		_ = a.transport.Send(Message{
+			Kind:  MsgAssignAck,
+			From:  a.addr,
+			To:    msg.From,
+			Seq:   msg.Seq,
+			Group: msg.Group,
+		})
+	}
+}

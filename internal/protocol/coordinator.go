@@ -1,0 +1,389 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"edgecachegroups/internal/cluster"
+	"edgecachegroups/internal/probe"
+	"edgecachegroups/internal/simrand"
+	"edgecachegroups/internal/topology"
+)
+
+// Config tunes the distributed group formation run.
+type Config struct {
+	// L is the landmark count (origin included); M the PLSet multiplier.
+	L int
+	M int
+	// K is the number of groups to form.
+	K int
+	// Theta is the SDSL sensitivity (0 = plain SL seeding).
+	Theta float64
+	// ReplyTimeout bounds each wait for outstanding replies. Zero means
+	// the default (100ms).
+	ReplyTimeout time.Duration
+	// Retries is how many times an unanswered request is re-sent before
+	// the peer is declared unresponsive. Zero means the default (2).
+	Retries int
+	// Cluster tunes the K-means iteration.
+	Cluster cluster.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReplyTimeout <= 0 {
+		c.ReplyTimeout = 100 * time.Millisecond
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	return c
+}
+
+// Validate reports whether the config is usable for numCaches caches.
+func (c Config) Validate(numCaches int) error {
+	switch {
+	case c.L < 2:
+		return fmt.Errorf("protocol: L must be >= 2, got %d", c.L)
+	case c.M < 1:
+		return fmt.Errorf("protocol: M must be >= 1, got %d", c.M)
+	case c.M*(c.L-1) > numCaches:
+		return fmt.Errorf("protocol: PLSet size M*(L-1)=%d exceeds %d caches", c.M*(c.L-1), numCaches)
+	case c.K < 1 || c.K > numCaches:
+		return fmt.Errorf("protocol: K=%d out of range [1,%d]", c.K, numCaches)
+	case c.Theta < 0:
+		return fmt.Errorf("protocol: Theta must be >= 0, got %v", c.Theta)
+	case c.Retries < 0:
+		return fmt.Errorf("protocol: Retries must be >= 0, got %d", c.Retries)
+	}
+	return c.Cluster.Validate()
+}
+
+// Result is the outcome of a distributed group formation run.
+type Result struct {
+	// Landmarks is the chosen landmark set (origin first).
+	Landmarks []probe.Endpoint
+	// Assignments maps each responsive cache to its group.
+	Assignments map[topology.CacheIndex]int
+	// Groups lists members per group ID.
+	Groups [][]topology.CacheIndex
+	// Centers are the final cluster centers in feature space.
+	Centers []cluster.Vector
+	// Unresponsive lists caches that never answered the feature round;
+	// they are not part of any group.
+	Unresponsive []topology.CacheIndex
+	// UnackedAssignments lists caches whose assignment was sent but never
+	// acknowledged (they may or may not have applied it).
+	UnackedAssignments []topology.CacheIndex
+	// MessagesSent counts every protocol message the coordinator sent.
+	MessagesSent int64
+}
+
+// Coordinator drives the distributed protocol. Build one per run.
+type Coordinator struct {
+	cfg       Config
+	n         int
+	transport Transport
+	inbox     <-chan Message
+	src       *simrand.Source
+	seq       uint64
+	sent      int64
+}
+
+// NewCoordinator builds a coordinator for a network of numCaches agents.
+func NewCoordinator(cfg Config, numCaches int, transport Transport, src *simrand.Source) (*Coordinator, error) {
+	if transport == nil {
+		return nil, errors.New("protocol: nil transport")
+	}
+	if src == nil {
+		return nil, errors.New("protocol: nil random source")
+	}
+	if err := cfg.Validate(numCaches); err != nil {
+		return nil, err
+	}
+	return &Coordinator{
+		cfg:       cfg.withDefaults(),
+		n:         numCaches,
+		transport: transport,
+		inbox:     transport.Register(CoordinatorAddr()),
+		src:       src,
+	}, nil
+}
+
+// Run executes the five protocol rounds and returns the formed groups.
+func (c *Coordinator) Run() (*Result, error) {
+	// Round 1: PLSet probing.
+	plIdx, err := c.src.SampleWithoutReplacement(c.n, c.cfg.M*(c.cfg.L-1))
+	if err != nil {
+		return nil, fmt.Errorf("sample PLSet: %w", err)
+	}
+	plset := make([]topology.CacheIndex, len(plIdx))
+	for i, v := range plIdx {
+		plset[i] = topology.CacheIndex(v)
+	}
+	plTargets := make([]probe.Endpoint, 0, len(plset)+1)
+	plTargets = append(plTargets, probe.Origin())
+	for _, ci := range plset {
+		plTargets = append(plTargets, probe.Cache(ci))
+	}
+	plReplies := c.requestRound(plset, plTargets)
+	if len(plReplies) < c.cfg.L-1 {
+		return nil, fmt.Errorf("protocol: only %d of %d PLSet members responded; need >= %d",
+			len(plReplies), len(plset), c.cfg.L-1)
+	}
+
+	// Round 2: landmark selection over the gathered matrix.
+	landmarks := c.selectLandmarks(plset, plTargets, plReplies)
+
+	// Round 3: feature probing by every cache.
+	all := make([]topology.CacheIndex, c.n)
+	for i := range all {
+		all[i] = topology.CacheIndex(i)
+	}
+	featReplies := c.requestRound(all, landmarks)
+	if len(featReplies) < c.cfg.K {
+		return nil, fmt.Errorf("protocol: only %d caches responded; need >= K=%d", len(featReplies), c.cfg.K)
+	}
+
+	// Round 4: clustering.
+	responsive := make([]topology.CacheIndex, 0, len(featReplies))
+	for _, ci := range all {
+		if _, ok := featReplies[ci]; ok {
+			responsive = append(responsive, ci)
+		}
+	}
+	points := make([]cluster.Vector, len(responsive))
+	serverDist := make([]float64, len(responsive))
+	for i, ci := range responsive {
+		rtts := featReplies[ci]
+		fv := make(cluster.Vector, len(rtts))
+		for j, v := range rtts {
+			if v < 0 {
+				v = 0 // failed single measurement: degrade, don't discard
+			}
+			fv[j] = v
+		}
+		points[i] = fv
+		serverDist[i] = fv[0] // landmark 0 is the origin
+	}
+	var seeder cluster.Seeder = cluster.UniformSeeder{}
+	if c.cfg.Theta > 0 {
+		weights := make([]float64, len(serverDist))
+		for i, d := range serverDist {
+			if d < 1 {
+				d = 1
+			}
+			weights[i] = 1 / math.Pow(d, c.cfg.Theta)
+		}
+		seeder = cluster.WeightedSeeder{Weights: weights}
+	}
+	k := c.cfg.K
+	if k > len(points) {
+		k = len(points)
+	}
+	clustered, err := cluster.KMeans(points, k, seeder, c.cfg.Cluster, c.src.Split("kmeans"))
+	if err != nil {
+		return nil, fmt.Errorf("cluster features: %w", err)
+	}
+
+	res := &Result{
+		Landmarks:   landmarks,
+		Assignments: make(map[topology.CacheIndex]int, len(responsive)),
+		Groups:      make([][]topology.CacheIndex, k),
+		Centers:     clustered.Centers,
+	}
+	for i, ci := range responsive {
+		g := clustered.Assignments[i]
+		res.Assignments[ci] = g
+		res.Groups[g] = append(res.Groups[g], ci)
+	}
+	for _, ci := range all {
+		if _, ok := featReplies[ci]; !ok {
+			res.Unresponsive = append(res.Unresponsive, ci)
+		}
+	}
+
+	// Round 5: assignment broadcast with acknowledgements.
+	unacked := c.assignRound(res)
+	res.UnackedAssignments = unacked
+	res.MessagesSent = c.sent
+	return res, nil
+}
+
+// requestRound sends probe requests for targets to every peer, retrying
+// unanswered peers, and returns the RTT vectors keyed by cache index.
+func (c *Coordinator) requestRound(peers []topology.CacheIndex, targets []probe.Endpoint) map[topology.CacheIndex][]float64 {
+	replies := make(map[topology.CacheIndex][]float64, len(peers))
+	pending := make(map[topology.CacheIndex]bool, len(peers))
+	for _, p := range peers {
+		pending[p] = true
+	}
+	seqOf := make(map[uint64]topology.CacheIndex)
+
+	for attempt := 0; attempt <= c.cfg.Retries && len(pending) > 0; attempt++ {
+		for p := range pending {
+			c.seq++
+			seqOf[c.seq] = p
+			c.sent++
+			_ = c.transport.Send(Message{
+				Kind:    MsgProbeRequest,
+				From:    CoordinatorAddr(),
+				To:      CacheAddr(p),
+				Seq:     c.seq,
+				Targets: targets,
+			})
+		}
+		deadline := time.After(c.cfg.ReplyTimeout)
+	wait:
+		for len(pending) > 0 {
+			select {
+			case msg, ok := <-c.inbox:
+				if !ok {
+					return replies
+				}
+				if msg.Kind != MsgProbeReply {
+					continue
+				}
+				p, ok := seqOf[msg.Seq]
+				if !ok || !pending[p] {
+					continue // stale or duplicate
+				}
+				if len(msg.RTTs) != len(targets) {
+					continue // malformed
+				}
+				replies[p] = msg.RTTs
+				delete(pending, p)
+			case <-deadline:
+				break wait
+			}
+		}
+	}
+	return replies
+}
+
+// selectLandmarks runs the greedy max-min selection over the PLSet's
+// measured matrix. plTargets[0] is the origin; plTargets[i+1] is plset[i].
+func (c *Coordinator) selectLandmarks(plset []topology.CacheIndex, plTargets []probe.Endpoint, replies map[topology.CacheIndex][]float64) []probe.Endpoint {
+	// dist[i][j] over plTargets indices; unknown pairs default to 0 so
+	// that candidates with missing data are never preferred.
+	n := len(plTargets)
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i, ci := range plset {
+		rtts, ok := replies[ci]
+		if !ok {
+			continue
+		}
+		row := i + 1 // offset past the origin
+		for j, v := range rtts {
+			if v < 0 {
+				continue
+			}
+			if dist[row][j] == 0 {
+				dist[row][j] = v
+			} else {
+				dist[row][j] = (dist[row][j] + v) / 2
+			}
+			if dist[j][row] == 0 {
+				dist[j][row] = dist[row][j]
+			}
+		}
+	}
+
+	responsive := func(i int) bool {
+		if i == 0 {
+			return true
+		}
+		_, ok := replies[plset[i-1]]
+		return ok
+	}
+
+	chosen := []int{0}
+	inSet := make([]bool, n)
+	inSet[0] = true
+	minToSet := make([]float64, n)
+	for i := range minToSet {
+		minToSet[i] = dist[i][0]
+	}
+	for len(chosen) < c.cfg.L {
+		best := -1
+		for i := 1; i < n; i++ {
+			if inSet[i] || !responsive(i) {
+				continue
+			}
+			if best < 0 || minToSet[i] > minToSet[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen = append(chosen, best)
+		inSet[best] = true
+		for i := range minToSet {
+			if d := dist[i][best]; d < minToSet[i] {
+				minToSet[i] = d
+			}
+		}
+	}
+	out := make([]probe.Endpoint, len(chosen))
+	for i, idx := range chosen {
+		out[i] = plTargets[idx]
+	}
+	return out
+}
+
+// assignRound broadcasts assignments and collects acknowledgements,
+// retrying unacked peers. It returns the caches that never acked.
+func (c *Coordinator) assignRound(res *Result) []topology.CacheIndex {
+	pending := make(map[topology.CacheIndex]bool, len(res.Assignments))
+	for ci := range res.Assignments {
+		pending[ci] = true
+	}
+	seqOf := make(map[uint64]topology.CacheIndex)
+
+	for attempt := 0; attempt <= c.cfg.Retries && len(pending) > 0; attempt++ {
+		for ci := range pending {
+			g := res.Assignments[ci]
+			c.seq++
+			seqOf[c.seq] = ci
+			c.sent++
+			_ = c.transport.Send(Message{
+				Kind:    MsgAssign,
+				From:    CoordinatorAddr(),
+				To:      CacheAddr(ci),
+				Seq:     c.seq,
+				Group:   g,
+				Members: res.Groups[g],
+			})
+		}
+		deadline := time.After(c.cfg.ReplyTimeout)
+	wait:
+		for len(pending) > 0 {
+			select {
+			case msg, ok := <-c.inbox:
+				if !ok {
+					break wait
+				}
+				if msg.Kind != MsgAssignAck {
+					continue
+				}
+				ci, ok := seqOf[msg.Seq]
+				if !ok || !pending[ci] {
+					continue
+				}
+				delete(pending, ci)
+			case <-deadline:
+				break wait
+			}
+		}
+	}
+	var unacked []topology.CacheIndex
+	for ci := range pending {
+		unacked = append(unacked, ci)
+	}
+	return unacked
+}

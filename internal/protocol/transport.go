@@ -1,0 +1,125 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"edgecachegroups/internal/simrand"
+)
+
+// Transport delivers messages between protocol participants.
+// Implementations must be safe for concurrent use.
+type Transport interface {
+	// Send delivers msg to msg.To's mailbox. A Send to an unregistered
+	// address errors; a dropped (lossy) message does NOT error — loss is
+	// silent, as on a real network.
+	Send(msg Message) error
+	// Register creates (or returns) the mailbox channel for addr.
+	Register(addr Addr) <-chan Message
+	// Close shuts the transport down; subsequent Sends fail.
+	Close()
+}
+
+// ErrTransportClosed is returned by Send after Close.
+var ErrTransportClosed = errors.New("protocol: transport closed")
+
+// ChanTransport is an in-process Transport built on buffered channels,
+// with optional deterministic message loss for failure-injection tests.
+type ChanTransport struct {
+	mu     sync.Mutex
+	boxes  map[Addr]chan Message
+	closed bool
+
+	lossProb float64
+	lossSrc  *simrand.Source
+
+	// deadAddrs silently swallow all traffic (crashed nodes).
+	dead map[Addr]bool
+}
+
+var _ Transport = (*ChanTransport)(nil)
+
+// NewChanTransport builds an in-process transport. lossProb in [0,1) drops
+// each message independently using src (nil src means no loss regardless
+// of lossProb).
+func NewChanTransport(lossProb float64, src *simrand.Source) (*ChanTransport, error) {
+	if lossProb < 0 || lossProb >= 1 {
+		return nil, fmt.Errorf("protocol: lossProb must be in [0,1), got %v", lossProb)
+	}
+	return &ChanTransport{
+		boxes:    make(map[Addr]chan Message),
+		lossProb: lossProb,
+		lossSrc:  src,
+		dead:     make(map[Addr]bool),
+	}, nil
+}
+
+// mailboxDepth bounds each participant's queue. The protocol's fan-out is
+// one outstanding request per peer, so a small constant suffices; a full
+// mailbox drops the message (backpressure as loss).
+const mailboxDepth = 64
+
+// Register implements Transport.
+func (t *ChanTransport) Register(addr Addr) <-chan Message {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if box, ok := t.boxes[addr]; ok {
+		return box
+	}
+	box := make(chan Message, mailboxDepth)
+	t.boxes[addr] = box
+	return box
+}
+
+// Kill marks addr as crashed: all traffic to it is silently dropped.
+func (t *ChanTransport) Kill(addr Addr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dead[addr] = true
+}
+
+// Send implements Transport.
+func (t *ChanTransport) Send(msg Message) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrTransportClosed
+	}
+	if t.dead[msg.To] {
+		t.mu.Unlock()
+		return nil // crashed node: message vanishes
+	}
+	box, ok := t.boxes[msg.To]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("protocol: no mailbox for %v", msg.To)
+	}
+	drop := false
+	if t.lossSrc != nil && t.lossProb > 0 {
+		drop = t.lossSrc.Float64() < t.lossProb
+	}
+	t.mu.Unlock()
+	if drop {
+		return nil
+	}
+	select {
+	case box <- msg:
+	default:
+		// Mailbox overflow behaves as network loss.
+	}
+	return nil
+}
+
+// Close implements Transport.
+func (t *ChanTransport) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for _, box := range t.boxes {
+		close(box)
+	}
+}

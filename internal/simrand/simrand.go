@@ -1,0 +1,173 @@
+// Package simrand provides deterministic random-number utilities shared by
+// the topology generator, workload generator, prober, and clustering code.
+//
+// Every stochastic component in this repository owns an explicit *Source
+// derived from a user-provided seed, so experiments are reproducible
+// bit-for-bit. There is no package-level mutable state.
+package simrand
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Source is a deterministic random source. It wraps math/rand.Rand and adds
+// the distributions used across the simulator. Source is NOT safe for
+// concurrent use; derive independent child sources with Split for parallel
+// work.
+type Source struct {
+	rng  *rand.Rand
+	seed int64
+}
+
+// New returns a Source seeded with seed.
+func New(seed int64) *Source {
+	return &Source{
+		rng:  rand.New(rand.NewSource(seed)),
+		seed: seed,
+	}
+}
+
+// Seed returns the seed this source was created with.
+func (s *Source) Seed() int64 { return s.seed }
+
+// Split derives an independent child source. The child's stream is a pure
+// function of (parent seed, label), so concurrent consumers can be given
+// stable, non-overlapping streams regardless of the order in which they are
+// created.
+func (s *Source) Split(label string) *Source {
+	h := uint64(s.seed)
+	// FNV-1a over the label, folded into the parent seed.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var fh uint64 = offset64
+	for i := 0; i < len(label); i++ {
+		fh ^= uint64(label[i])
+		fh *= prime64
+	}
+	h = (h * prime64) ^ fh
+	return New(int64(h))
+}
+
+// SplitN derives an independent child source labelled by an index.
+func (s *Source) SplitN(label string, n int) *Source {
+	return s.Split(fmt.Sprintf("%s/%d", label, n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0, matching
+// math/rand semantics.
+func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (s *Source) Int63() int64 { return s.rng.Int63() }
+
+// Uniform returns a uniform float in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.rng.Float64()
+}
+
+// Normal returns a normally distributed float with the given mean and
+// standard deviation.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	return mean + stddev*s.rng.NormFloat64()
+}
+
+// LogNormal returns a log-normally distributed float where mu and sigma are
+// the parameters of the underlying normal distribution.
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// Exponential returns an exponentially distributed float with the given
+// rate (events per unit time). It panics if rate <= 0.
+func (s *Source) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("simrand: Exponential rate must be > 0")
+	}
+	return s.rng.ExpFloat64() / rate
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly from
+// [0, n). It returns an error if k > n or either argument is negative.
+func (s *Source) SampleWithoutReplacement(n, k int) ([]int, error) {
+	if n < 0 || k < 0 {
+		return nil, errors.New("simrand: negative argument to SampleWithoutReplacement")
+	}
+	if k > n {
+		return nil, fmt.Errorf("simrand: cannot sample %d from %d items", k, n)
+	}
+	// Partial Fisher-Yates: O(n) space, O(k) swaps.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + s.rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k], nil
+}
+
+// WeightedChoice returns an index in [0, len(weights)) drawn with
+// probability proportional to weights[i]. Weights must be non-negative and
+// sum to a positive value.
+func (s *Source) WeightedChoice(weights []float64) (int, error) {
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return 0, fmt.Errorf("simrand: invalid weight %v at index %d", w, i)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return 0, errors.New("simrand: weights sum to zero")
+	}
+	target := s.rng.Float64() * total
+	var cum float64
+	for i, w := range weights {
+		cum += w
+		if target < cum {
+			return i, nil
+		}
+	}
+	// Floating-point slack: return the last index with positive weight.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i, nil
+		}
+	}
+	return 0, errors.New("simrand: unreachable weighted choice state")
+}
+
+// WeightedSampleWithoutReplacement draws k distinct indices with probability
+// proportional to the (remaining) weights at each step.
+func (s *Source) WeightedSampleWithoutReplacement(weights []float64, k int) ([]int, error) {
+	if k > len(weights) {
+		return nil, fmt.Errorf("simrand: cannot sample %d from %d weighted items", k, len(weights))
+	}
+	w := make([]float64, len(weights))
+	copy(w, weights)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		i, err := s.WeightedChoice(w)
+		if err != nil {
+			return nil, fmt.Errorf("weighted sample step %d: %w", len(out), err)
+		}
+		out = append(out, i)
+		w[i] = 0
+	}
+	return out, nil
+}

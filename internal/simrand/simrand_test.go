@@ -1,0 +1,335 @@
+package simrand
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if got, want := a.Float64(), b.Float64(); got != want {
+			t.Fatalf("draw %d: sources diverged: %v vs %v", i, got, want)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	a := parent.Split("alpha")
+	b := parent.Split("beta")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams look correlated: %d/100 identical draws", same)
+	}
+}
+
+func TestSplitStableAcrossCreationOrder(t *testing.T) {
+	p1 := New(99)
+	x1 := p1.Split("x").Float64()
+
+	p2 := New(99)
+	_ = p2.Split("y") // creating another child first must not affect "x"
+	x2 := p2.Split("x").Float64()
+
+	if x1 != x2 {
+		t.Fatalf("Split not order-independent: %v vs %v", x1, x2)
+	}
+}
+
+func TestSplitNDistinct(t *testing.T) {
+	p := New(1)
+	seen := make(map[int64]bool)
+	for i := 0; i < 50; i++ {
+		s := p.SplitN("worker", i)
+		if seen[s.Seed()] {
+			t.Fatalf("SplitN produced duplicate seed at index %d", i)
+		}
+		seen[s.Seed()] = true
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(10, 20)
+		if v < 10 || v >= 20 {
+			t.Fatalf("Uniform(10,20) out of range: %v", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(5)
+	const rate = 2.0
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(rate)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.02 {
+		t.Fatalf("Exponential(%v) mean = %v, want ~%v", rate, mean, 1/rate)
+	}
+}
+
+func TestExponentialPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exponential(0) did not panic")
+		}
+	}()
+	New(1).Exponential(0)
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 1000; i++ {
+		if v := s.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal produced non-positive value %v", v)
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	tests := []struct {
+		name    string
+		n, k    int
+		wantErr bool
+	}{
+		{name: "basic", n: 10, k: 5},
+		{name: "all", n: 10, k: 10},
+		{name: "none", n: 10, k: 0},
+		{name: "too many", n: 3, k: 4, wantErr: true},
+		{name: "negative n", n: -1, k: 0, wantErr: true},
+		{name: "negative k", n: 5, k: -2, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := New(13)
+			got, err := s.SampleWithoutReplacement(tt.n, tt.k)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatal("expected error, got nil")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if len(got) != tt.k {
+				t.Fatalf("got %d samples, want %d", len(got), tt.k)
+			}
+			seen := make(map[int]bool)
+			for _, v := range got {
+				if v < 0 || v >= tt.n {
+					t.Fatalf("sample %d out of range [0,%d)", v, tt.n)
+				}
+				if seen[v] {
+					t.Fatalf("duplicate sample %d", v)
+				}
+				seen[v] = true
+			}
+		})
+	}
+}
+
+func TestSampleWithoutReplacementIsUniformish(t *testing.T) {
+	s := New(17)
+	counts := make([]int, 10)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		got, err := s.SampleWithoutReplacement(10, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range got {
+			counts[v]++
+		}
+	}
+	// Each index should be picked ~ trials*3/10 times.
+	want := float64(trials) * 3 / 10
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Fatalf("index %d picked %d times, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	s := New(19)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		idx, err := s.WeightedChoice(weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index chosen %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestWeightedChoiceErrors(t *testing.T) {
+	s := New(23)
+	tests := []struct {
+		name    string
+		weights []float64
+	}{
+		{name: "empty", weights: nil},
+		{name: "all zero", weights: []float64{0, 0}},
+		{name: "negative", weights: []float64{1, -1}},
+		{name: "nan", weights: []float64{math.NaN()}},
+		{name: "inf", weights: []float64{math.Inf(1)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := s.WeightedChoice(tt.weights); err == nil {
+				t.Fatal("expected error, got nil")
+			}
+		})
+	}
+}
+
+func TestWeightedSampleWithoutReplacement(t *testing.T) {
+	s := New(29)
+	weights := []float64{1, 2, 3, 4}
+	got, err := s.WeightedSampleWithoutReplacement(weights, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("full sample missing index %d: %v", i, got)
+		}
+	}
+	if _, err := s.WeightedSampleWithoutReplacement(weights, 5); err == nil {
+		t.Fatal("oversized sample did not error")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		s := New(seed)
+		p := s.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfBasics(t *testing.T) {
+	z, err := NewZipf(100, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.N() != 100 {
+		t.Fatalf("N = %d, want 100", z.N())
+	}
+	if z.Alpha() != 0.8 {
+		t.Fatalf("Alpha = %v, want 0.8", z.Alpha())
+	}
+	var total float64
+	for r := 0; r < 100; r++ {
+		p := z.Prob(r)
+		if p <= 0 {
+			t.Fatalf("Prob(%d) = %v, want > 0", r, p)
+		}
+		total += p
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v, want 1", total)
+	}
+	if z.Prob(-1) != 0 || z.Prob(100) != 0 {
+		t.Fatal("out-of-range Prob should be 0")
+	}
+}
+
+func TestZipfErrors(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Fatal("NewZipf(0, 1) should error")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Fatal("NewZipf(10, -1) should error")
+	}
+	if _, err := NewZipf(10, math.NaN()); err == nil {
+		t.Fatal("NewZipf(10, NaN) should error")
+	}
+}
+
+func TestZipfRankOrdering(t *testing.T) {
+	z, err := NewZipf(50, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(31)
+	counts := make([]int, 50)
+	for i := 0; i < 100000; i++ {
+		counts[z.Sample(s)]++
+	}
+	// Lower ranks must be sampled more often; check a few well-separated
+	// pairs rather than strict monotonicity (sampling noise).
+	pairs := [][2]int{{0, 5}, {5, 20}, {20, 45}}
+	for _, p := range pairs {
+		if counts[p[0]] <= counts[p[1]] {
+			t.Fatalf("rank %d count (%d) <= rank %d count (%d); Zipf ordering violated",
+				p[0], counts[p[0]], p[1], counts[p[1]])
+		}
+	}
+}
+
+func TestZipfAlphaZeroIsUniform(t *testing.T) {
+	z, err := NewZipf(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 10; r++ {
+		if math.Abs(z.Prob(r)-0.1) > 1e-9 {
+			t.Fatalf("alpha=0 Prob(%d) = %v, want 0.1", r, z.Prob(r))
+		}
+	}
+}
+
+func TestZipfSampleInRangeProperty(t *testing.T) {
+	z, err := NewZipf(37, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		s := New(seed)
+		for i := 0; i < 100; i++ {
+			r := z.Sample(s)
+			if r < 0 || r >= 37 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

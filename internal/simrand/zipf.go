@@ -1,0 +1,71 @@
+package simrand
+
+import (
+	"fmt"
+	"math"
+)
+
+// Zipf samples ranks from a Zipf(α) distribution over [0, n): the
+// probability of rank r is proportional to 1/(r+1)^α. The standard
+// library's rand.Zipf requires α > 1; web workloads are routinely modelled
+// with α in [0.6, 1.0], so we implement inverse-CDF sampling over a
+// precomputed table instead.
+type Zipf struct {
+	cdf   []float64
+	alpha float64
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent alpha.
+// It returns an error when n <= 0 or alpha < 0.
+func NewZipf(n int, alpha float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("simrand: Zipf needs n > 0, got %d", n)
+	}
+	if alpha < 0 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("simrand: Zipf needs alpha >= 0, got %v", alpha)
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for r := 0; r < n; r++ {
+		total += 1 / math.Pow(float64(r+1), alpha)
+		cdf[r] = total
+	}
+	for r := range cdf {
+		cdf[r] /= total
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf, alpha: alpha}, nil
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Alpha returns the exponent.
+func (z *Zipf) Alpha() float64 { return z.alpha }
+
+// Prob returns the probability mass of rank r.
+func (z *Zipf) Prob(r int) float64 {
+	if r < 0 || r >= len(z.cdf) {
+		return 0
+	}
+	if r == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[r] - z.cdf[r-1]
+}
+
+// Sample draws a rank in [0, n) using src.
+func (z *Zipf) Sample(src *Source) int {
+	u := src.Float64()
+	// Binary search for the first rank whose CDF exceeds u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

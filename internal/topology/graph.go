@@ -1,0 +1,190 @@
+// Package topology models the Internet substrate used by the edge cache
+// network: an undirected weighted graph produced by a transit-stub
+// hierarchical generator (in the spirit of GT-ITM, Zegura et al.,
+// INFOCOM'96), shortest-path RTT computation, and the placement of an
+// origin server and N edge caches onto the topology.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a node (router) in the topology graph.
+type NodeID int
+
+// NodeKind distinguishes transit (backbone) routers from stub (edge)
+// routers.
+type NodeKind int
+
+// Node kinds. Enums start at 1 so that the zero value is invalid.
+const (
+	KindTransit NodeKind = iota + 1
+	KindStub
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case KindTransit:
+		return "transit"
+	case KindStub:
+		return "stub"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node carries per-router metadata.
+type Node struct {
+	ID     NodeID   `json:"id"`
+	Kind   NodeKind `json:"kind"`
+	Domain int      `json:"domain"` // transit-domain index, or stub-domain index offset
+}
+
+type halfEdge struct {
+	to     NodeID
+	weight float64
+}
+
+// Graph is an undirected weighted graph. Edge weights are round-trip times
+// in milliseconds. The zero value is an empty graph ready for use.
+type Graph struct {
+	nodes []Node
+	adj   [][]halfEdge
+	edges int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddNode appends a node of the given kind/domain and returns its ID.
+func (g *Graph) AddNode(kind NodeKind, domain int) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Kind: kind, Domain: domain})
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Node returns the metadata for id. It returns an error for out-of-range
+// IDs.
+func (g *Graph) Node(id NodeID) (Node, error) {
+	if int(id) < 0 || int(id) >= len(g.nodes) {
+		return Node{}, fmt.Errorf("topology: node %d out of range [0,%d)", id, len(g.nodes))
+	}
+	return g.nodes[int(id)], nil
+}
+
+// AddEdge adds an undirected edge between a and b with the given RTT
+// weight. Self-loops, duplicate edges, and non-positive weights are
+// rejected.
+func (g *Graph) AddEdge(a, b NodeID, weight float64) error {
+	if a == b {
+		return fmt.Errorf("topology: self-loop on node %d", a)
+	}
+	if int(a) < 0 || int(a) >= len(g.nodes) || int(b) < 0 || int(b) >= len(g.nodes) {
+		return fmt.Errorf("topology: edge (%d,%d) references unknown node", a, b)
+	}
+	if weight <= 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return fmt.Errorf("topology: invalid edge weight %v", weight)
+	}
+	for _, e := range g.adj[int(a)] {
+		if e.to == b {
+			return fmt.Errorf("topology: duplicate edge (%d,%d)", a, b)
+		}
+	}
+	g.adj[int(a)] = append(g.adj[int(a)], halfEdge{to: b, weight: weight})
+	g.adj[int(b)] = append(g.adj[int(b)], halfEdge{to: a, weight: weight})
+	g.edges++
+	return nil
+}
+
+// HasEdge reports whether an edge between a and b exists.
+func (g *Graph) HasEdge(a, b NodeID) bool {
+	if int(a) < 0 || int(a) >= len(g.nodes) {
+		return false
+	}
+	for _, e := range g.adj[int(a)] {
+		if e.to == b {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeWeight returns the weight of edge (a,b), or an error if absent.
+func (g *Graph) EdgeWeight(a, b NodeID) (float64, error) {
+	if int(a) < 0 || int(a) >= len(g.nodes) {
+		return 0, fmt.Errorf("topology: node %d out of range", a)
+	}
+	for _, e := range g.adj[int(a)] {
+		if e.to == b {
+			return e.weight, nil
+		}
+	}
+	return 0, fmt.Errorf("topology: no edge (%d,%d)", a, b)
+}
+
+// Degree returns the number of edges incident to id.
+func (g *Graph) Degree(id NodeID) int {
+	if int(id) < 0 || int(id) >= len(g.nodes) {
+		return 0
+	}
+	return len(g.adj[int(id)])
+}
+
+// Neighbors appends the neighbor IDs of id to dst and returns it.
+func (g *Graph) Neighbors(id NodeID, dst []NodeID) []NodeID {
+	if int(id) < 0 || int(id) >= len(g.nodes) {
+		return dst
+	}
+	for _, e := range g.adj[int(id)] {
+		dst = append(dst, e.to)
+	}
+	return dst
+}
+
+// NodesOfKind returns all node IDs of the given kind.
+func (g *Graph) NodesOfKind(kind NodeKind) []NodeID {
+	var out []NodeID
+	for _, n := range g.nodes {
+		if n.Kind == kind {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// IsConnected reports whether every node is reachable from node 0. An empty
+// graph is considered connected.
+func (g *Graph) IsConnected() bool {
+	if len(g.nodes) == 0 {
+		return true
+	}
+	seen := make([]bool, len(g.nodes))
+	stack := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[int(cur)] {
+			if !seen[int(e.to)] {
+				seen[int(e.to)] = true
+				count++
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return count == len(g.nodes)
+}
+
+// ErrDisconnected is returned when an operation requires a connected graph.
+var ErrDisconnected = errors.New("topology: graph is not connected")

@@ -1,0 +1,206 @@
+package topology
+
+import (
+	"testing"
+
+	"edgecachegroups/internal/simrand"
+)
+
+func testGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := GenerateTransitStub(DefaultTransitStubParams(), simrand.New(100))
+	if err != nil {
+		t.Fatalf("generate topology: %v", err)
+	}
+	return g
+}
+
+func TestNewNetworkPlacement(t *testing.T) {
+	g := testGraph(t)
+	nw, err := NewNetwork(g, PlaceParams{NumCaches: 50}, simrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumCaches() != 50 {
+		t.Fatalf("NumCaches = %d, want 50", nw.NumCaches())
+	}
+	if nw.Graph() != g {
+		t.Fatal("Graph() did not return the underlying graph")
+	}
+
+	// All endpoints must be distinct stub nodes.
+	seen := map[NodeID]bool{nw.OriginNode(): true}
+	for i := 0; i < 50; i++ {
+		id, err := nw.CacheNode(CacheIndex(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[id] {
+			t.Fatalf("endpoint node %d reused", id)
+		}
+		seen[id] = true
+		n, err := g.Node(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Kind != KindStub {
+			t.Fatalf("cache %d placed on %v node", i, n.Kind)
+		}
+	}
+	if _, err := nw.CacheNode(CacheIndex(50)); err == nil {
+		t.Fatal("out-of-range CacheNode should error")
+	}
+	if _, err := nw.CacheNode(CacheIndex(-1)); err == nil {
+		t.Fatal("negative CacheNode should error")
+	}
+}
+
+func TestNewNetworkErrors(t *testing.T) {
+	g := testGraph(t)
+	if _, err := NewNetwork(g, PlaceParams{NumCaches: 0}, simrand.New(1)); err == nil {
+		t.Fatal("NumCaches=0 should error")
+	}
+	if _, err := NewNetwork(g, PlaceParams{NumCaches: 100000}, simrand.New(1)); err == nil {
+		t.Fatal("too many caches should error")
+	}
+}
+
+func TestNetworkDistanceProperties(t *testing.T) {
+	g := testGraph(t)
+	nw, err := NewNetwork(g, PlaceParams{NumCaches: 30}, simrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		ci := CacheIndex(i)
+		if d := nw.Dist(ci, ci); d != 0 {
+			t.Fatalf("Dist(%d,%d) = %v, want 0", i, i, d)
+		}
+		if d := nw.DistToOrigin(ci); d <= 0 {
+			t.Fatalf("DistToOrigin(%d) = %v, want > 0", i, d)
+		}
+		for j := i + 1; j < 30; j++ {
+			cj := CacheIndex(j)
+			if nw.Dist(ci, cj) != nw.Dist(cj, ci) {
+				t.Fatalf("Dist not symmetric for (%d,%d)", i, j)
+			}
+			if nw.Dist(ci, cj) <= 0 {
+				t.Fatalf("Dist(%d,%d) = %v, want > 0 (distinct stubs)", i, j, nw.Dist(ci, cj))
+			}
+		}
+	}
+	if nw.MeanPairwiseDist() <= 0 {
+		t.Fatal("MeanPairwiseDist should be positive")
+	}
+}
+
+func TestNewNetworkAt(t *testing.T) {
+	// Path graph: o --1-- a --2-- b.
+	g := NewGraph()
+	o := g.AddNode(KindStub, 0)
+	a := g.AddNode(KindStub, 0)
+	b := g.AddNode(KindStub, 0)
+	if err := g.AddEdge(o, a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(a, b, 2); err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetworkAt(g, o, []NodeID{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.DistToOrigin(0); got != 1 {
+		t.Fatalf("DistToOrigin(0) = %v, want 1", got)
+	}
+	if got := nw.DistToOrigin(1); got != 3 {
+		t.Fatalf("DistToOrigin(1) = %v, want 3", got)
+	}
+	if got := nw.Dist(0, 1); got != 2 {
+		t.Fatalf("Dist(0,1) = %v, want 2", got)
+	}
+	if got := nw.MeanPairwiseDist(); got != 2 {
+		t.Fatalf("MeanPairwiseDist = %v, want 2", got)
+	}
+}
+
+func TestNewNetworkAtErrors(t *testing.T) {
+	g := NewGraph()
+	o := g.AddNode(KindStub, 0)
+	a := g.AddNode(KindStub, 0)
+	if err := g.AddEdge(o, a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNetworkAt(g, o, nil); err == nil {
+		t.Fatal("empty caches should error")
+	}
+	if _, err := NewNetworkAt(g, NodeID(99), []NodeID{a}); err == nil {
+		t.Fatal("bad origin should error")
+	}
+	if _, err := NewNetworkAt(g, o, []NodeID{NodeID(99)}); err == nil {
+		t.Fatal("bad cache node should error")
+	}
+	// Disconnected endpoint.
+	iso := g.AddNode(KindStub, 1)
+	if _, err := NewNetworkAt(g, o, []NodeID{iso}); err == nil {
+		t.Fatal("unreachable cache should error")
+	}
+}
+
+func TestNearestFarthestCaches(t *testing.T) {
+	// Line: o -1- c0 -1- c1 -1- c2.
+	g := NewGraph()
+	o := g.AddNode(KindStub, 0)
+	var caches []NodeID
+	prev := o
+	for i := 0; i < 3; i++ {
+		n := g.AddNode(KindStub, 0)
+		if err := g.AddEdge(prev, n, 1); err != nil {
+			t.Fatal(err)
+		}
+		caches = append(caches, n)
+		prev = n
+	}
+	nw, err := NewNetworkAt(g, o, caches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := nw.CachesByOriginDistance()
+	want := []CacheIndex{0, 1, 2}
+	for i := range want {
+		if sorted[i] != want[i] {
+			t.Fatalf("CachesByOriginDistance = %v, want %v", sorted, want)
+		}
+	}
+	near := nw.NearestCaches(2)
+	if len(near) != 2 || near[0] != 0 || near[1] != 1 {
+		t.Fatalf("NearestCaches(2) = %v", near)
+	}
+	far := nw.FarthestCaches(1)
+	if len(far) != 1 || far[0] != 2 {
+		t.Fatalf("FarthestCaches(1) = %v", far)
+	}
+	// Oversized k clamps.
+	if got := nw.NearestCaches(10); len(got) != 3 {
+		t.Fatalf("NearestCaches(10) returned %d caches", len(got))
+	}
+	if got := nw.FarthestCaches(10); len(got) != 3 {
+		t.Fatalf("FarthestCaches(10) returned %d caches", len(got))
+	}
+}
+
+func TestMeanPairwiseDistSingleCache(t *testing.T) {
+	g := NewGraph()
+	o := g.AddNode(KindStub, 0)
+	a := g.AddNode(KindStub, 0)
+	if err := g.AddEdge(o, a, 1); err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetworkAt(g, o, []NodeID{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.MeanPairwiseDist(); got != 0 {
+		t.Fatalf("MeanPairwiseDist with 1 cache = %v, want 0", got)
+	}
+}

@@ -1,0 +1,63 @@
+package topology
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// graphJSON is the on-disk representation of a Graph.
+type graphJSON struct {
+	Nodes []Node     `json:"nodes"`
+	Edges []edgeJSON `json:"edges"`
+}
+
+type edgeJSON struct {
+	A      NodeID  `json:"a"`
+	B      NodeID  `json:"b"`
+	Weight float64 `json:"weightMS"`
+}
+
+// WriteJSON serializes the graph to w.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	out := graphJSON{Nodes: make([]Node, len(g.nodes))}
+	copy(out.Nodes, g.nodes)
+	for a, edges := range g.adj {
+		for _, e := range edges {
+			if NodeID(a) < e.to { // each undirected edge once
+				out.Edges = append(out.Edges, edgeJSON{A: NodeID(a), B: e.to, Weight: e.weight})
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if err := json.NewEncoder(bw).Encode(out); err != nil {
+		return fmt.Errorf("encode graph: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadGraphJSON deserializes a graph written by WriteJSON, re-validating
+// every node and edge.
+func ReadGraphJSON(r io.Reader) (*Graph, error) {
+	var in graphJSON
+	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&in); err != nil {
+		return nil, fmt.Errorf("decode graph: %w", err)
+	}
+	g := NewGraph()
+	for i, n := range in.Nodes {
+		if n.ID != NodeID(i) {
+			return nil, fmt.Errorf("topology: node %d has ID %d; IDs must be dense", i, n.ID)
+		}
+		if n.Kind != KindTransit && n.Kind != KindStub {
+			return nil, fmt.Errorf("topology: node %d has unknown kind %d", i, n.Kind)
+		}
+		g.AddNode(n.Kind, n.Domain)
+	}
+	for i, e := range in.Edges {
+		if err := g.AddEdge(e.A, e.B, e.Weight); err != nil {
+			return nil, fmt.Errorf("edge %d: %w", i, err)
+		}
+	}
+	return g, nil
+}

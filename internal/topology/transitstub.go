@@ -1,0 +1,212 @@
+package topology
+
+import (
+	"fmt"
+
+	"edgecachegroups/internal/simrand"
+)
+
+// TransitStubParams configures the hierarchical transit-stub topology
+// generator. The structure follows the GT-ITM transit-stub model: a small
+// core of interconnected transit domains, each transit node anchoring a
+// number of stub domains whose nodes represent edge networks.
+//
+// All latencies are one-way-pair RTT contributions in milliseconds; the
+// generated edge weights already represent RTT, so a shortest path equals
+// the end-to-end RTT.
+type TransitStubParams struct {
+	// TransitDomains is the number of backbone domains.
+	TransitDomains int
+	// TransitNodesPerDomain is the number of routers per backbone domain.
+	TransitNodesPerDomain int
+	// StubDomainsPerTransitNode is the number of stub (edge) domains hanging
+	// off each transit router.
+	StubDomainsPerTransitNode int
+	// StubNodesPerDomain is the number of routers per stub domain.
+	StubNodesPerDomain int
+
+	// TransitTransitRTT is the mean RTT of an inter-domain backbone link.
+	TransitTransitRTT float64
+	// IntraTransitRTT is the mean RTT of a link inside a backbone domain.
+	IntraTransitRTT float64
+	// TransitStubRTT is the mean RTT of a stub-domain gateway link.
+	TransitStubRTT float64
+	// IntraStubRTT is the mean RTT of a link inside a stub domain.
+	IntraStubRTT float64
+	// Jitter is the fractional latency spread: each link RTT is drawn
+	// uniformly from mean*(1±Jitter). Must lie in [0, 1).
+	Jitter float64
+
+	// ExtraIntraDomainEdgeProb adds redundant intra-domain edges beyond the
+	// connecting spanning tree with this per-pair probability.
+	ExtraIntraDomainEdgeProb float64
+	// ExtraTransitPairProb adds redundant inter-domain backbone links with
+	// this per-domain-pair probability (beyond the connecting ring).
+	ExtraTransitPairProb float64
+}
+
+// DefaultTransitStubParams returns the configuration used throughout the
+// experiments: 4 transit domains x 4 routers, 4 stub domains per transit
+// router x 12 routers, for 16 transit + 768 stub nodes. Latency constants
+// follow common GT-ITM practice (backbone links dominate).
+func DefaultTransitStubParams() TransitStubParams {
+	return TransitStubParams{
+		TransitDomains:            4,
+		TransitNodesPerDomain:     4,
+		StubDomainsPerTransitNode: 4,
+		StubNodesPerDomain:        12,
+		TransitTransitRTT:         90,
+		IntraTransitRTT:           25,
+		TransitStubRTT:            12,
+		IntraStubRTT:              3,
+		Jitter:                    0.25,
+		ExtraIntraDomainEdgeProb:  0.2,
+		ExtraTransitPairProb:      0.3,
+	}
+}
+
+// Validate reports whether the parameters describe a generable topology.
+func (p TransitStubParams) Validate() error {
+	switch {
+	case p.TransitDomains < 1:
+		return fmt.Errorf("topology: TransitDomains must be >= 1, got %d", p.TransitDomains)
+	case p.TransitNodesPerDomain < 1:
+		return fmt.Errorf("topology: TransitNodesPerDomain must be >= 1, got %d", p.TransitNodesPerDomain)
+	case p.StubDomainsPerTransitNode < 0:
+		return fmt.Errorf("topology: StubDomainsPerTransitNode must be >= 0, got %d", p.StubDomainsPerTransitNode)
+	case p.StubNodesPerDomain < 1 && p.StubDomainsPerTransitNode > 0:
+		return fmt.Errorf("topology: StubNodesPerDomain must be >= 1, got %d", p.StubNodesPerDomain)
+	case p.TransitTransitRTT <= 0 || p.IntraTransitRTT <= 0 || p.TransitStubRTT <= 0 || p.IntraStubRTT <= 0:
+		return fmt.Errorf("topology: all RTT means must be > 0")
+	case p.Jitter < 0 || p.Jitter >= 1:
+		return fmt.Errorf("topology: Jitter must be in [0,1), got %v", p.Jitter)
+	case p.ExtraIntraDomainEdgeProb < 0 || p.ExtraIntraDomainEdgeProb > 1:
+		return fmt.Errorf("topology: ExtraIntraDomainEdgeProb must be in [0,1], got %v", p.ExtraIntraDomainEdgeProb)
+	case p.ExtraTransitPairProb < 0 || p.ExtraTransitPairProb > 1:
+		return fmt.Errorf("topology: ExtraTransitPairProb must be in [0,1], got %v", p.ExtraTransitPairProb)
+	}
+	return nil
+}
+
+// StubNodeCount returns the total number of stub nodes the parameters
+// produce.
+func (p TransitStubParams) StubNodeCount() int {
+	return p.TransitDomains * p.TransitNodesPerDomain * p.StubDomainsPerTransitNode * p.StubNodesPerDomain
+}
+
+// GenerateTransitStub builds a connected transit-stub topology from params
+// using the deterministic source src.
+func GenerateTransitStub(params TransitStubParams, src *simrand.Source) (*Graph, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	g := NewGraph()
+	lat := func(mean float64) float64 {
+		return src.Uniform(mean*(1-params.Jitter), mean*(1+params.Jitter))
+	}
+
+	// 1. Transit domains.
+	transitDomains := make([][]NodeID, params.TransitDomains)
+	for d := 0; d < params.TransitDomains; d++ {
+		nodes := make([]NodeID, params.TransitNodesPerDomain)
+		for i := range nodes {
+			nodes[i] = g.AddNode(KindTransit, d)
+		}
+		if err := connectDomain(g, nodes, params.IntraTransitRTT, params.ExtraIntraDomainEdgeProb, lat, src); err != nil {
+			return nil, fmt.Errorf("transit domain %d: %w", d, err)
+		}
+		transitDomains[d] = nodes
+	}
+
+	// 2. Inter-domain backbone: a ring guarantees connectivity, random
+	// extra domain pairs add path diversity.
+	for d := 0; d < params.TransitDomains; d++ {
+		next := (d + 1) % params.TransitDomains
+		if next == d {
+			break // single domain: no inter-domain links
+		}
+		a := transitDomains[d][src.Intn(len(transitDomains[d]))]
+		b := transitDomains[next][src.Intn(len(transitDomains[next]))]
+		if err := addEdgeIfAbsent(g, a, b, lat(params.TransitTransitRTT)); err != nil {
+			return nil, err
+		}
+	}
+	for d1 := 0; d1 < params.TransitDomains; d1++ {
+		for d2 := d1 + 1; d2 < params.TransitDomains; d2++ {
+			if src.Float64() >= params.ExtraTransitPairProb {
+				continue
+			}
+			a := transitDomains[d1][src.Intn(len(transitDomains[d1]))]
+			b := transitDomains[d2][src.Intn(len(transitDomains[d2]))]
+			if err := addEdgeIfAbsent(g, a, b, lat(params.TransitTransitRTT)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// 3. Stub domains. Stub domain indices continue after transit domains so
+	// Node.Domain is globally unique.
+	stubDomain := params.TransitDomains
+	for d := 0; d < params.TransitDomains; d++ {
+		for _, tn := range transitDomains[d] {
+			for s := 0; s < params.StubDomainsPerTransitNode; s++ {
+				nodes := make([]NodeID, params.StubNodesPerDomain)
+				for i := range nodes {
+					nodes[i] = g.AddNode(KindStub, stubDomain)
+				}
+				if err := connectDomain(g, nodes, params.IntraStubRTT, params.ExtraIntraDomainEdgeProb, lat, src); err != nil {
+					return nil, fmt.Errorf("stub domain %d: %w", stubDomain, err)
+				}
+				// Gateway link from a random stub router to its transit node.
+				gw := nodes[src.Intn(len(nodes))]
+				if err := g.AddEdge(gw, tn, lat(params.TransitStubRTT)); err != nil {
+					return nil, fmt.Errorf("gateway for stub domain %d: %w", stubDomain, err)
+				}
+				stubDomain++
+			}
+		}
+	}
+
+	if !g.IsConnected() {
+		return nil, ErrDisconnected
+	}
+	return g, nil
+}
+
+// connectDomain wires nodes into a connected subgraph: a random spanning
+// tree plus extra edges with probability extraProb per pair.
+func connectDomain(g *Graph, nodes []NodeID, meanRTT, extraProb float64, lat func(float64) float64, src *simrand.Source) error {
+	if len(nodes) == 0 {
+		return nil
+	}
+	// Random spanning tree: attach each node (in random order) to a random
+	// already-attached node.
+	order := src.Perm(len(nodes))
+	for i := 1; i < len(order); i++ {
+		a := nodes[order[i]]
+		b := nodes[order[src.Intn(i)]]
+		if err := g.AddEdge(a, b, lat(meanRTT)); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if g.HasEdge(nodes[i], nodes[j]) {
+				continue
+			}
+			if src.Float64() < extraProb {
+				if err := g.AddEdge(nodes[i], nodes[j], lat(meanRTT)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func addEdgeIfAbsent(g *Graph, a, b NodeID, weight float64) error {
+	if a == b || g.HasEdge(a, b) {
+		return nil
+	}
+	return g.AddEdge(a, b, weight)
+}

@@ -1,0 +1,154 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"edgecachegroups/internal/simrand"
+)
+
+// WaxmanParams configures the flat Waxman random topology generator
+// (Waxman, JSAC'88), the other classic Internet model GT-ITM offers.
+// Nodes are scattered uniformly on a plane and each pair is connected with
+// probability Alpha·exp(−d/(Beta·L)) where d is their plane distance and L
+// the plane diagonal; link RTT is proportional to plane distance.
+//
+// Waxman topologies lack the transit-stub hierarchy, so they make a useful
+// robustness check: the SL/SDSL orderings should survive a flat substrate
+// with weaker locality structure.
+type WaxmanParams struct {
+	// Nodes is the number of routers.
+	Nodes int
+	// Alpha scales overall edge density; typical values 0.1–0.3.
+	Alpha float64
+	// Beta controls the relative likelihood of long edges; typical 0.1–0.3.
+	Beta float64
+	// PlaneSize is the side of the square placement plane.
+	PlaneSize float64
+	// RTTPerUnit converts plane distance into link RTT milliseconds.
+	RTTPerUnit float64
+	// MinRTT floors every link RTT.
+	MinRTT float64
+}
+
+// DefaultWaxmanParams returns a 600-router Waxman topology comparable in
+// scale and RTT range to the default transit-stub topology.
+func DefaultWaxmanParams() WaxmanParams {
+	return WaxmanParams{
+		Nodes:      600,
+		Alpha:      0.12,
+		Beta:       0.15,
+		PlaneSize:  1000,
+		RTTPerUnit: 0.25,
+		MinRTT:     0.5,
+	}
+}
+
+// Validate reports whether the parameters are generable.
+func (p WaxmanParams) Validate() error {
+	switch {
+	case p.Nodes < 2:
+		return fmt.Errorf("topology: Waxman Nodes must be >= 2, got %d", p.Nodes)
+	case p.Alpha <= 0 || p.Alpha > 1:
+		return fmt.Errorf("topology: Waxman Alpha must be in (0,1], got %v", p.Alpha)
+	case p.Beta <= 0 || p.Beta > 1:
+		return fmt.Errorf("topology: Waxman Beta must be in (0,1], got %v", p.Beta)
+	case p.PlaneSize <= 0:
+		return fmt.Errorf("topology: Waxman PlaneSize must be > 0, got %v", p.PlaneSize)
+	case p.RTTPerUnit <= 0:
+		return fmt.Errorf("topology: Waxman RTTPerUnit must be > 0, got %v", p.RTTPerUnit)
+	case p.MinRTT < 0:
+		return fmt.Errorf("topology: Waxman MinRTT must be >= 0, got %v", p.MinRTT)
+	}
+	return nil
+}
+
+// GenerateWaxman builds a connected Waxman topology. All nodes are stub
+// kind (the model is flat) in domain 0.
+func GenerateWaxman(params WaxmanParams, src *simrand.Source) (*Graph, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	g := NewGraph()
+	type point struct{ x, y float64 }
+	pts := make([]point, params.Nodes)
+	for i := range pts {
+		pts[i] = point{x: src.Uniform(0, params.PlaneSize), y: src.Uniform(0, params.PlaneSize)}
+		g.AddNode(KindStub, 0)
+	}
+	planeDist := func(a, b int) float64 {
+		dx, dy := pts[a].x-pts[b].x, pts[a].y-pts[b].y
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+	rtt := func(d float64) float64 {
+		v := d * params.RTTPerUnit
+		if v < params.MinRTT {
+			v = params.MinRTT
+		}
+		return v
+	}
+	diag := params.PlaneSize * math.Sqrt2
+
+	// Waxman edges.
+	for i := 0; i < params.Nodes; i++ {
+		for j := i + 1; j < params.Nodes; j++ {
+			d := planeDist(i, j)
+			if src.Float64() < params.Alpha*math.Exp(-d/(params.Beta*diag)) {
+				if err := g.AddEdge(NodeID(i), NodeID(j), rtt(d)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Connectivity repair: link each unreached component to its nearest
+	// reached node (keeps the geometric flavor).
+	for {
+		reached := reachableFrom(g, 0)
+		missing := -1
+		for i := 0; i < params.Nodes; i++ {
+			if !reached[i] {
+				missing = i
+				break
+			}
+		}
+		if missing < 0 {
+			break
+		}
+		best, bestD := -1, 0.0
+		for i := 0; i < params.Nodes; i++ {
+			if !reached[i] {
+				continue
+			}
+			if d := planeDist(missing, i); best < 0 || d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if err := g.AddEdge(NodeID(missing), NodeID(best), rtt(bestD)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func reachableFrom(g *Graph, start NodeID) []bool {
+	seen := make([]bool, g.NumNodes())
+	if g.NumNodes() == 0 {
+		return seen
+	}
+	stack := []NodeID{start}
+	seen[int(start)] = true
+	var buf []NodeID
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		buf = g.Neighbors(cur, buf[:0])
+		for _, nb := range buf {
+			if !seen[int(nb)] {
+				seen[int(nb)] = true
+				stack = append(stack, nb)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,162 @@
+package topology
+
+import (
+	"bytes"
+	"testing"
+
+	"edgecachegroups/internal/simrand"
+)
+
+func TestWaxmanParamsValidate(t *testing.T) {
+	if err := DefaultWaxmanParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*WaxmanParams)
+	}{
+		{"one node", func(p *WaxmanParams) { p.Nodes = 1 }},
+		{"alpha zero", func(p *WaxmanParams) { p.Alpha = 0 }},
+		{"alpha big", func(p *WaxmanParams) { p.Alpha = 1.5 }},
+		{"beta zero", func(p *WaxmanParams) { p.Beta = 0 }},
+		{"plane zero", func(p *WaxmanParams) { p.PlaneSize = 0 }},
+		{"rtt zero", func(p *WaxmanParams) { p.RTTPerUnit = 0 }},
+		{"min rtt negative", func(p *WaxmanParams) { p.MinRTT = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := DefaultWaxmanParams()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestGenerateWaxmanConnectedAndSized(t *testing.T) {
+	p := DefaultWaxmanParams()
+	p.Nodes = 200
+	g, err := GenerateWaxman(p, simrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 200 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if !g.IsConnected() {
+		t.Fatal("Waxman topology disconnected after repair")
+	}
+	if g.NumEdges() < 200 {
+		t.Fatalf("suspiciously few edges: %d", g.NumEdges())
+	}
+}
+
+func TestGenerateWaxmanDeterministic(t *testing.T) {
+	p := DefaultWaxmanParams()
+	p.Nodes = 100
+	g1, err := GenerateWaxman(p, simrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := GenerateWaxman(p, simrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", g1.NumEdges(), g2.NumEdges())
+	}
+	d1, err := g1.ShortestPaths(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := g2.ShortestPaths(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("distance to %d differs", i)
+		}
+	}
+}
+
+func TestGenerateWaxmanRejectsBadParams(t *testing.T) {
+	p := DefaultWaxmanParams()
+	p.Nodes = 0
+	if _, err := GenerateWaxman(p, simrand.New(1)); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestWaxmanSupportsNetworkPlacement(t *testing.T) {
+	p := DefaultWaxmanParams()
+	p.Nodes = 150
+	g, err := GenerateWaxman(p, simrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetwork(g, PlaceParams{NumCaches: 50}, simrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumCaches() != 50 {
+		t.Fatalf("caches = %d", nw.NumCaches())
+	}
+	if nw.MeanPairwiseDist() <= 0 {
+		t.Fatal("degenerate distances")
+	}
+}
+
+func TestGraphJSONRoundTrip(t *testing.T) {
+	g, err := GenerateTransitStub(DefaultTransitStubParams(), simrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraphJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %d/%d nodes, %d/%d edges",
+			got.NumNodes(), g.NumNodes(), got.NumEdges(), g.NumEdges())
+	}
+	// Distances must be identical.
+	d1, err := g.ShortestPaths(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := got.ShortestPaths(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("distance to %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadGraphJSONErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		data string
+	}{
+		{"garbage", "not json"},
+		{"sparse ids", `{"nodes":[{"id":5,"kind":2,"domain":0}],"edges":[]}`},
+		{"bad kind", `{"nodes":[{"id":0,"kind":9,"domain":0}],"edges":[]}`},
+		{"bad edge", `{"nodes":[{"id":0,"kind":2,"domain":0},{"id":1,"kind":2,"domain":0}],"edges":[{"a":0,"b":5,"weightMS":1}]}`},
+		{"bad weight", `{"nodes":[{"id":0,"kind":2,"domain":0},{"id":1,"kind":2,"domain":0}],"edges":[{"a":0,"b":1,"weightMS":-1}]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadGraphJSON(bytes.NewBufferString(tt.data)); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}

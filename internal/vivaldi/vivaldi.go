@@ -1,0 +1,295 @@
+// Package vivaldi implements the Vivaldi decentralized network coordinate
+// system (Dabek, Cox, Kaashoek & Morris, SIGCOMM'04 — reference [3] of the
+// paper). Nodes embed themselves into a D-dimensional Euclidean space by
+// simulating a spring system: each RTT sample between two nodes pushes or
+// pulls their coordinates toward the spring's rest length (the measured
+// RTT), weighted by the nodes' confidence.
+//
+// The paper cites Vivaldi (alongside GNP) as a position-representation
+// alternative to its raw feature vectors; this package provides the third
+// representation for the §5.2 comparison. As in the GNP pipeline, the
+// landmark set first converges among itself, then each host runs updates
+// against the fixed landmark coordinates.
+package vivaldi
+
+import (
+	"fmt"
+	"math"
+
+	"edgecachegroups/internal/simrand"
+)
+
+// Config tunes the Vivaldi embedding.
+type Config struct {
+	// Dim is the coordinate dimensionality. Must be >= 1.
+	Dim int
+	// Rounds is the number of full passes over the sample set during
+	// landmark convergence. Zero means the default (32).
+	Rounds int
+	// CE is the error-adaptation constant (Vivaldi's c_e, typically 0.25).
+	CE float64
+	// CC is the coordinate-adaptation constant (Vivaldi's c_c, typically
+	// 0.25).
+	CC float64
+	// UseHeight enables Vivaldi's height-vector model: each node carries a
+	// non-negative height modelling its access-link latency, and the
+	// effective distance is the Euclidean part plus both heights. Heights
+	// capture the last-mile delay that no Euclidean embedding can.
+	UseHeight bool
+}
+
+// DefaultConfig returns the standard Vivaldi constants in 5 dimensions.
+func DefaultConfig() Config {
+	return Config{Dim: 5, Rounds: 32, CE: 0.25, CC: 0.25}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rounds <= 0 {
+		c.Rounds = 32
+	}
+	if c.CE == 0 {
+		c.CE = 0.25
+	}
+	if c.CC == 0 {
+		c.CC = 0.25
+	}
+	return c
+}
+
+// Validate reports whether the config is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Dim < 1:
+		return fmt.Errorf("vivaldi: Dim must be >= 1, got %d", c.Dim)
+	case c.Rounds < 0:
+		return fmt.Errorf("vivaldi: Rounds must be >= 0, got %d", c.Rounds)
+	case c.CE < 0 || c.CE > 1:
+		return fmt.Errorf("vivaldi: CE must be in [0,1], got %v", c.CE)
+	case c.CC < 0 || c.CC > 1:
+		return fmt.Errorf("vivaldi: CC must be in [0,1], got %v", c.CC)
+	}
+	return nil
+}
+
+// Node is one participant's coordinate state.
+type Node struct {
+	// Coord is the node's current coordinate.
+	Coord []float64
+	// Height is the node's access-link latency component (height-vector
+	// model only; see Config.UseHeight).
+	Height float64
+	// Err is the node's confidence estimate in (0, 1]; lower is more
+	// confident.
+	Err float64
+}
+
+// NewNode returns a node at the origin with maximal uncertainty.
+func NewNode(dim int) *Node {
+	return &Node{Coord: make([]float64, dim), Err: 1}
+}
+
+// distanceTo returns the model distance from n to other under cfg.
+func (n *Node) distanceTo(other *Node, cfg Config) float64 {
+	d := euclid(n.Coord, other.Coord)
+	if cfg.UseHeight {
+		d += n.Height + other.Height
+	}
+	return d
+}
+
+const minRTTms = 0.5
+
+// Update applies one Vivaldi sample: the measured RTT between n and other.
+// Only n's state mutates (the remote node's state is its own business).
+// src supplies the random direction needed when the two coordinates
+// coincide.
+func (n *Node) Update(other *Node, rtt float64, cfg Config, src *simrand.Source) {
+	cfg = cfg.withDefaults()
+	if rtt < minRTTms {
+		rtt = minRTTms
+	}
+	dist := n.distanceTo(other, cfg)
+
+	// Sample weight balances local vs remote confidence.
+	w := n.Err / (n.Err + other.Err)
+	relErr := math.Abs(dist-rtt) / rtt
+
+	// Update the confidence (exponentially weighted moving average).
+	n.Err = relErr*cfg.CE*w + n.Err*(1-cfg.CE*w)
+	if n.Err > 1 {
+		n.Err = 1
+	}
+	if n.Err < 1e-6 {
+		n.Err = 1e-6
+	}
+
+	// Move along the unit vector away from (or toward) the other node:
+	// x_i += delta * (rtt - dist) * u(x_i - x_j). In the height model the
+	// "unit vector"'s height component is +1: shrinking the distance pulls
+	// the node's height down, growing it pushes the height up (Vivaldi
+	// §3.4).
+	delta := cfg.CC * w
+	dir := unitVector(n.Coord, other.Coord, src)
+	scale := delta * (rtt - dist)
+	for d := range n.Coord {
+		n.Coord[d] += scale * dir[d]
+	}
+	if cfg.UseHeight {
+		n.Height += scale
+		if n.Height < 0 {
+			n.Height = 0
+		}
+	}
+}
+
+// euclid is the Euclidean distance between coordinates.
+func euclid(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// unitVector returns the unit vector from b toward a; when the points
+// coincide it returns a random unit direction, as Vivaldi prescribes.
+func unitVector(a, b []float64, src *simrand.Source) []float64 {
+	out := make([]float64, len(a))
+	var norm float64
+	for i := range a {
+		out[i] = a[i] - b[i]
+		norm += out[i] * out[i]
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-12 {
+		for i := range out {
+			out[i] = src.Normal(0, 1)
+			norm += out[i] * out[i]
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			out[0], norm = 1, 1
+		}
+	}
+	for i := range out {
+		out[i] /= norm
+	}
+	return out
+}
+
+// EmbedLandmarks converges a set of nodes against their full measured RTT
+// matrix by simulating Rounds epochs of random pairwise Vivaldi updates.
+func EmbedLandmarks(measured [][]float64, cfg Config, src *simrand.Source) ([][]float64, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(measured)
+	if n < 2 {
+		return nil, fmt.Errorf("vivaldi: need >= 2 landmarks, got %d", n)
+	}
+	for i, row := range measured {
+		if len(row) != n {
+			return nil, fmt.Errorf("vivaldi: row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, d := range row {
+			if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+				return nil, fmt.Errorf("vivaldi: invalid distance %v at (%d,%d)", d, i, j)
+			}
+		}
+	}
+
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = NewNode(cfg.Dim)
+		// Tiny random jitter breaks the all-at-origin symmetry.
+		for d := range nodes[i].Coord {
+			nodes[i].Coord[d] = src.Normal(0, 0.1)
+		}
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		order := src.Perm(n)
+		for _, i := range order {
+			for _, j := range order {
+				if i == j {
+					continue
+				}
+				nodes[i].Update(nodes[j], measured[i][j], cfg, src)
+			}
+		}
+	}
+	out := make([][]float64, n)
+	for i, nd := range nodes {
+		out[i] = nd.Coord
+	}
+	return out, nil
+}
+
+// EmbedHost converges one host's coordinate against fixed landmark
+// coordinates using its measured RTTs to each landmark.
+func EmbedHost(landmarks [][]float64, toLandmarks []float64, cfg Config, src *simrand.Source) ([]float64, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(landmarks) == 0 {
+		return nil, fmt.Errorf("vivaldi: no landmark coordinates")
+	}
+	if len(toLandmarks) != len(landmarks) {
+		return nil, fmt.Errorf("vivaldi: %d measurements for %d landmarks", len(toLandmarks), len(landmarks))
+	}
+	lmNodes := make([]*Node, len(landmarks))
+	for i, c := range landmarks {
+		if len(c) != cfg.Dim {
+			return nil, fmt.Errorf("vivaldi: landmark %d has dim %d, want %d", i, len(c), cfg.Dim)
+		}
+		d := toLandmarks[i]
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return nil, fmt.Errorf("vivaldi: invalid measurement %v to landmark %d", d, i)
+		}
+		// Landmarks are fully converged: minimal error so the host does
+		// almost all of the moving.
+		lmNodes[i] = &Node{Coord: c, Err: 0.05}
+	}
+	host := NewNode(cfg.Dim)
+	// Start near the closest landmark.
+	nearest := 0
+	for i := range toLandmarks {
+		if toLandmarks[i] < toLandmarks[nearest] {
+			nearest = i
+		}
+	}
+	copy(host.Coord, landmarks[nearest])
+	for round := 0; round < cfg.Rounds; round++ {
+		for i, lm := range lmNodes {
+			host.Update(lm, toLandmarks[i], cfg, src)
+		}
+	}
+	return host.Coord, nil
+}
+
+// EmbeddingError returns the mean relative error of coordinate distances
+// against the measured matrix.
+func EmbeddingError(coords [][]float64, measured [][]float64) (float64, error) {
+	n := len(coords)
+	if len(measured) != n {
+		return 0, fmt.Errorf("vivaldi: %d coords vs %d measurement rows", n, len(measured))
+	}
+	if n < 2 {
+		return 0, nil
+	}
+	var sum float64
+	var count int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m := measured[i][j]
+			if m < minRTTms {
+				m = minRTTms
+			}
+			sum += math.Abs(euclid(coords[i], coords[j])-measured[i][j]) / m
+			count++
+		}
+	}
+	return sum / float64(count), nil
+}

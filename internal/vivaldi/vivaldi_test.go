@@ -1,0 +1,284 @@
+package vivaldi
+
+import (
+	"math"
+	"testing"
+
+	"edgecachegroups/internal/simrand"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Dim: 0},
+		{Dim: 3, Rounds: -1},
+		{Dim: 3, CE: -0.1},
+		{Dim: 3, CE: 1.5},
+		{Dim: 3, CC: -0.1},
+		{Dim: 3, CC: 1.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+// planted returns n points in dim-space and their exact distance matrix.
+func planted(n, dim int, src *simrand.Source) ([][]float64, [][]float64) {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, dim)
+		for j := range pts[i] {
+			pts[i][j] = src.Uniform(0, 200)
+		}
+	}
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = euclid(pts[i], pts[j])
+		}
+	}
+	return pts, m
+}
+
+func TestEmbedLandmarksConverges(t *testing.T) {
+	src := simrand.New(1)
+	_, m := planted(10, 3, src)
+	cfg := Config{Dim: 3, Rounds: 64}
+	coords, err := EmbedLandmarks(m, cfg, src.Split("embed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errVal, err := EmbeddingError(coords, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errVal > 0.08 {
+		t.Fatalf("Vivaldi error %v on truly Euclidean input, want < 0.08", errVal)
+	}
+}
+
+func TestEmbedLandmarksValidation(t *testing.T) {
+	src := simrand.New(2)
+	cfg := Config{Dim: 2}
+	if _, err := EmbedLandmarks([][]float64{{0}}, cfg, src); err == nil {
+		t.Fatal("single landmark accepted")
+	}
+	if _, err := EmbedLandmarks([][]float64{{0, 1}, {1}}, cfg, src); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if _, err := EmbedLandmarks([][]float64{{0, -1}, {-1, 0}}, cfg, src); err == nil {
+		t.Fatal("negative distance accepted")
+	}
+	if _, err := EmbedLandmarks([][]float64{{0, 1}, {1, 0}}, Config{Dim: 0}, src); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestEmbedHostRecoversDistances(t *testing.T) {
+	src := simrand.New(3)
+	pts, m := planted(10, 3, src)
+	cfg := Config{Dim: 3, Rounds: 64}
+	coords, err := EmbedLandmarks(m, cfg, src.Split("lm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := []float64{60, 90, 40}
+	toLm := make([]float64, len(pts))
+	for i := range pts {
+		toLm[i] = euclid(host, pts[i])
+	}
+	got, err := EmbedHost(coords, toLm, cfg, src.Split("host"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var relSum float64
+	var count int
+	for i := range coords {
+		want := toLm[i]
+		if want < 5 {
+			continue
+		}
+		relSum += math.Abs(euclid(got, coords[i])-want) / want
+		count++
+	}
+	if mean := relSum / float64(count); mean > 0.25 {
+		t.Fatalf("host-landmark mean relative error %v, want < 0.25", mean)
+	}
+}
+
+func TestEmbedHostValidation(t *testing.T) {
+	src := simrand.New(4)
+	cfg := Config{Dim: 2}
+	lms := [][]float64{{0, 0}, {10, 0}}
+	if _, err := EmbedHost(nil, nil, cfg, src); err == nil {
+		t.Fatal("no landmarks accepted")
+	}
+	if _, err := EmbedHost(lms, []float64{1}, cfg, src); err == nil {
+		t.Fatal("mismatched measurements accepted")
+	}
+	if _, err := EmbedHost(lms, []float64{1, math.NaN()}, cfg, src); err == nil {
+		t.Fatal("NaN measurement accepted")
+	}
+	if _, err := EmbedHost([][]float64{{0}}, []float64{1}, cfg, src); err == nil {
+		t.Fatal("wrong-dim landmark accepted")
+	}
+}
+
+func TestNodeUpdateMovesTowardRestLength(t *testing.T) {
+	src := simrand.New(5)
+	cfg := DefaultConfig()
+	cfg.Dim = 2
+	a := &Node{Coord: []float64{0, 0}, Err: 0.5}
+	b := &Node{Coord: []float64{10, 0}, Err: 0.5}
+	// True RTT 50 but coordinates say 10: a must move away from b.
+	a.Update(b, 50, cfg, src)
+	if euclid(a.Coord, b.Coord) <= 10 {
+		t.Fatalf("node did not move apart: dist=%v", euclid(a.Coord, b.Coord))
+	}
+	// True RTT 1 but coordinates now far: a must move toward b.
+	before := euclid(a.Coord, b.Coord)
+	a.Update(b, 1, cfg, src)
+	if euclid(a.Coord, b.Coord) >= before {
+		t.Fatal("node did not move closer")
+	}
+}
+
+func TestNodeUpdateHandlesCoincidentCoords(t *testing.T) {
+	src := simrand.New(6)
+	cfg := DefaultConfig()
+	cfg.Dim = 3
+	a := NewNode(3)
+	b := NewNode(3)
+	a.Update(b, 100, cfg, src)
+	if euclid(a.Coord, b.Coord) == 0 {
+		t.Fatal("coincident nodes did not separate")
+	}
+	for _, v := range a.Coord {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("coordinate corrupted: %v", a.Coord)
+		}
+	}
+}
+
+func TestNodeErrBounded(t *testing.T) {
+	src := simrand.New(7)
+	cfg := DefaultConfig()
+	cfg.Dim = 2
+	a := NewNode(2)
+	b := &Node{Coord: []float64{100, 0}, Err: 0.5}
+	for i := 0; i < 1000; i++ {
+		a.Update(b, src.Uniform(1, 500), cfg, src)
+		if a.Err <= 0 || a.Err > 1 {
+			t.Fatalf("error estimate out of bounds: %v", a.Err)
+		}
+	}
+}
+
+func TestEmbeddingErrorEdgeCases(t *testing.T) {
+	if _, err := EmbeddingError([][]float64{{0}}, [][]float64{{0}, {0}}); err == nil {
+		t.Fatal("mismatched sizes accepted")
+	}
+	v, err := EmbeddingError([][]float64{{0}}, [][]float64{{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("single-point error = %v, want 0", v)
+	}
+}
+
+// TestHeightModelLearnsAccessLinks: two clusters connected through a slow
+// access link on every node; the height model should assign positive
+// heights and fit the distances better than the flat model.
+func TestHeightModelLearnsAccessLinks(t *testing.T) {
+	src := simrand.New(10)
+	// True structure: nodes on a 2-D plane plus a per-node access delay.
+	const n = 10
+	pts := make([][]float64, n)
+	access := make([]float64, n)
+	for i := range pts {
+		pts[i] = []float64{src.Uniform(0, 100), src.Uniform(0, 100)}
+		access[i] = src.Uniform(10, 40)
+	}
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			if i == j {
+				continue
+			}
+			m[i][j] = euclid(pts[i], pts[j]) + access[i] + access[j]
+		}
+	}
+	flatCfg := Config{Dim: 2, Rounds: 64}
+	flat, err := EmbedLandmarks(m, flatCfg, src.Split("flat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatErr, err := EmbeddingError(flat, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Height-model error must beat the flat model on this structure. Use
+	// the node-level API since EmbedLandmarks returns raw coordinates.
+	heightCfg := Config{Dim: 2, Rounds: 64, UseHeight: true}
+	nodes := make([]*Node, n)
+	hsrc := src.Split("height")
+	for i := range nodes {
+		nodes[i] = NewNode(2)
+		for d := range nodes[i].Coord {
+			nodes[i].Coord[d] = hsrc.Normal(0, 0.1)
+		}
+	}
+	for round := 0; round < heightCfg.Rounds; round++ {
+		order := hsrc.Perm(n)
+		for _, i := range order {
+			for _, j := range order {
+				if i != j {
+					nodes[i].Update(nodes[j], m[i][j], heightCfg, hsrc)
+				}
+			}
+		}
+	}
+	var heightErrSum float64
+	var count int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pred := nodes[i].distanceTo(nodes[j], heightCfg)
+			heightErrSum += math.Abs(pred-m[i][j]) / m[i][j]
+			count++
+		}
+	}
+	heightErr := heightErrSum / float64(count)
+	if heightErr >= flatErr {
+		t.Fatalf("height model error %v not better than flat %v on access-link structure", heightErr, flatErr)
+	}
+	// Heights must be positive for most nodes.
+	positive := 0
+	for _, nd := range nodes {
+		if nd.Height > 1 {
+			positive++
+		}
+	}
+	if positive < n/2 {
+		t.Fatalf("only %d/%d nodes learned positive heights", positive, n)
+	}
+}
+
+func TestHeightNeverNegative(t *testing.T) {
+	src := simrand.New(11)
+	cfg := Config{Dim: 2, UseHeight: true}
+	a := NewNode(2)
+	b := &Node{Coord: []float64{50, 0}, Height: 5, Err: 0.5}
+	for i := 0; i < 500; i++ {
+		a.Update(b, src.Uniform(1, 200), cfg, src)
+		if a.Height < 0 {
+			t.Fatalf("negative height %v", a.Height)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"edgecachegroups/internal/simrand"
+)
+
+// WriteRequestsJSONL streams requests to w as JSON lines, the on-disk
+// request-log format consumed by cmd/tracegen and cmd/ecgsim.
+func WriteRequestsJSONL(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, r := range reqs {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("encode request %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRequestsJSONL parses a JSON-lines request log.
+func ReadRequestsJSONL(r io.Reader) ([]Request, error) {
+	var out []Request
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var req Request
+		if err := dec.Decode(&req); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decode request %d: %w", len(out), err)
+		}
+		out = append(out, req)
+	}
+	return out, nil
+}
+
+// WriteUpdatesJSONL streams updates to w as JSON lines.
+func WriteUpdatesJSONL(w io.Writer, ups []Update) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, u := range ups {
+		if err := enc.Encode(u); err != nil {
+			return fmt.Errorf("encode update %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadUpdatesJSONL parses a JSON-lines update log.
+func ReadUpdatesJSONL(r io.Reader) ([]Update, error) {
+	var out []Update
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var u Update
+		if err := dec.Decode(&u); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decode update %d: %w", len(out), err)
+		}
+		out = append(out, u)
+	}
+	return out, nil
+}
+
+// WriteCatalogJSON writes the catalog's documents as a single JSON array.
+func WriteCatalogJSON(w io.Writer, c *Catalog) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(c.docs)
+}
+
+// ReadCatalogJSON reads documents written by WriteCatalogJSON and rebuilds
+// a catalog with the given popularity skew.
+func ReadCatalogJSON(r io.Reader, zipfAlpha float64) (*Catalog, error) {
+	var docs []Document
+	if err := json.NewDecoder(r).Decode(&docs); err != nil {
+		return nil, fmt.Errorf("decode catalog: %w", err)
+	}
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("workload: empty catalog")
+	}
+	for i, d := range docs {
+		if d.ID != DocID(i) {
+			return nil, fmt.Errorf("workload: catalog document %d has ID %d; IDs must be dense ranks", i, d.ID)
+		}
+		if d.SizeKB <= 0 {
+			return nil, fmt.Errorf("workload: document %d has non-positive size %v", i, d.SizeKB)
+		}
+		if d.UpdateRatePerSec < 0 {
+			return nil, fmt.Errorf("workload: document %d has negative update rate %v", i, d.UpdateRatePerSec)
+		}
+	}
+	zipf, err := simrand.NewZipf(len(docs), zipfAlpha)
+	if err != nil {
+		return nil, err
+	}
+	return &Catalog{docs: docs, zipf: zipf}, nil
+}

@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TraceStats summarizes a request log — the numbers an operator checks
+// before trusting a synthetic trace to stand in for a production log.
+type TraceStats struct {
+	// Requests is the total request count.
+	Requests int
+	// Caches is the number of distinct caches issuing requests.
+	Caches int
+	// UniqueDocs is the number of distinct documents requested.
+	UniqueDocs int
+	// DurationSec spans the first to the last request.
+	DurationSec float64
+	// MeanRatePerCacheSec is the mean per-cache request rate.
+	MeanRatePerCacheSec float64
+	// Top10Share is the fraction of requests going to the 10 most popular
+	// documents.
+	Top10Share float64
+	// FittedZipfAlpha estimates the popularity skew by least-squares
+	// regression of log(frequency) on log(rank).
+	FittedZipfAlpha float64
+	// MeanOverlap is the mean pairwise overlap of per-cache top-20 hot
+	// sets, in [0,1] — the "considerable degree of similarity" the paper
+	// assumes.
+	MeanOverlap float64
+}
+
+// AnalyzeRequests computes TraceStats for a request log.
+func AnalyzeRequests(reqs []Request) (*TraceStats, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("workload: empty request log")
+	}
+	st := &TraceStats{Requests: len(reqs)}
+
+	docCounts := make(map[DocID]int)
+	cacheCounts := make(map[int]int)
+	perCacheDoc := make(map[int]map[DocID]int)
+	minT, maxT := reqs[0].TimeSec, reqs[0].TimeSec
+	for _, r := range reqs {
+		docCounts[r.Doc]++
+		cacheCounts[int(r.Cache)]++
+		m := perCacheDoc[int(r.Cache)]
+		if m == nil {
+			m = make(map[DocID]int)
+			perCacheDoc[int(r.Cache)] = m
+		}
+		m[r.Doc]++
+		if r.TimeSec < minT {
+			minT = r.TimeSec
+		}
+		if r.TimeSec > maxT {
+			maxT = r.TimeSec
+		}
+	}
+	st.Caches = len(cacheCounts)
+	st.UniqueDocs = len(docCounts)
+	st.DurationSec = maxT - minT
+	if st.DurationSec > 0 && st.Caches > 0 {
+		st.MeanRatePerCacheSec = float64(st.Requests) / st.DurationSec / float64(st.Caches)
+	}
+
+	// Popularity ranking.
+	counts := make([]int, 0, len(docCounts))
+	for _, c := range docCounts {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top := 0
+	for i := 0; i < 10 && i < len(counts); i++ {
+		top += counts[i]
+	}
+	st.Top10Share = float64(top) / float64(st.Requests)
+	st.FittedZipfAlpha = fitZipfAlpha(counts)
+
+	// Hot-set overlap across caches: sample up to 10 caches.
+	st.MeanOverlap = meanHotSetOverlap(perCacheDoc, 20, 10)
+	return st, nil
+}
+
+// fitZipfAlpha estimates alpha from a descending frequency list via
+// least-squares on log(freq) = c − alpha·log(rank).
+func fitZipfAlpha(desc []int) float64 {
+	var xs, ys []float64
+	for i, c := range desc {
+		if c <= 0 {
+			break
+		}
+		xs = append(xs, math.Log(float64(i+1)))
+		ys = append(ys, math.Log(float64(c)))
+	}
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0
+	}
+	slope := (n*sxy - sx*sy) / denom
+	return -slope
+}
+
+// meanHotSetOverlap computes the mean pairwise Jaccard-style overlap
+// (|A∩B| / hotSize) of the per-cache top-hotSize document sets, over the
+// first sampleCaches caches by index.
+func meanHotSetOverlap(perCacheDoc map[int]map[DocID]int, hotSize, sampleCaches int) float64 {
+	var cacheIDs []int
+	for id := range perCacheDoc {
+		cacheIDs = append(cacheIDs, id)
+	}
+	sort.Ints(cacheIDs)
+	if len(cacheIDs) > sampleCaches {
+		cacheIDs = cacheIDs[:sampleCaches]
+	}
+	if len(cacheIDs) < 2 {
+		return 0
+	}
+	hotSets := make([]map[DocID]bool, len(cacheIDs))
+	for i, id := range cacheIDs {
+		hotSets[i] = topDocs(perCacheDoc[id], hotSize)
+	}
+	var sum float64
+	var pairs int
+	for i := 0; i < len(hotSets); i++ {
+		for j := i + 1; j < len(hotSets); j++ {
+			inter := 0
+			for d := range hotSets[i] {
+				if hotSets[j][d] {
+					inter++
+				}
+			}
+			size := len(hotSets[i])
+			if len(hotSets[j]) < size {
+				size = len(hotSets[j])
+			}
+			if size > 0 {
+				sum += float64(inter) / float64(size)
+			}
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}
+
+func topDocs(counts map[DocID]int, n int) map[DocID]bool {
+	type kv struct {
+		d DocID
+		c int
+	}
+	list := make([]kv, 0, len(counts))
+	for d, c := range counts {
+		list = append(list, kv{d, c})
+	}
+	sort.Slice(list, func(a, b int) bool {
+		if list[a].c != list[b].c {
+			return list[a].c > list[b].c
+		}
+		return list[a].d < list[b].d
+	})
+	if len(list) > n {
+		list = list[:n]
+	}
+	out := make(map[DocID]bool, len(list))
+	for _, kv := range list {
+		out[kv.d] = true
+	}
+	return out
+}
+
+// String implements fmt.Stringer with a multi-line summary.
+func (s *TraceStats) String() string {
+	return fmt.Sprintf(
+		"requests=%d caches=%d uniqueDocs=%d duration=%.1fs rate=%.2f/s/cache top10=%.1f%% zipfAlpha=%.2f hotSetOverlap=%.2f",
+		s.Requests, s.Caches, s.UniqueDocs, s.DurationSec, s.MeanRatePerCacheSec,
+		s.Top10Share*100, s.FittedZipfAlpha, s.MeanOverlap)
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"edgecachegroups/internal/simrand"
+)
+
+func TestAnalyzeRequestsEmpty(t *testing.T) {
+	if _, err := AnalyzeRequests(nil); err == nil {
+		t.Fatal("empty log accepted")
+	}
+}
+
+func TestAnalyzeRequestsBasics(t *testing.T) {
+	c := testCatalog(t, 60)
+	params := TraceParams{DurationSec: 300, RequestRatePerCache: 1, Similarity: 0.8}
+	reqs, err := GenerateRequests(c, 20, params, simrand.New(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := AnalyzeRequests(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != len(reqs) {
+		t.Fatalf("Requests = %d, want %d", st.Requests, len(reqs))
+	}
+	if st.Caches != 20 {
+		t.Fatalf("Caches = %d, want 20", st.Caches)
+	}
+	if st.UniqueDocs == 0 || st.UniqueDocs > c.NumDocuments() {
+		t.Fatalf("UniqueDocs = %d", st.UniqueDocs)
+	}
+	if st.DurationSec <= 0 || st.DurationSec > 300 {
+		t.Fatalf("DurationSec = %v", st.DurationSec)
+	}
+	// Rate ~1 req/s/cache.
+	if st.MeanRatePerCacheSec < 0.7 || st.MeanRatePerCacheSec > 1.3 {
+		t.Fatalf("rate = %v, want ~1", st.MeanRatePerCacheSec)
+	}
+	// Zipf(0.8) catalog: fitted alpha in a broad band around the truth.
+	if st.FittedZipfAlpha < 0.4 || st.FittedZipfAlpha > 1.2 {
+		t.Fatalf("fitted alpha = %v, want ~0.8", st.FittedZipfAlpha)
+	}
+	// 0.8 similarity: hot sets overlap substantially.
+	if st.MeanOverlap < 0.3 {
+		t.Fatalf("hot-set overlap = %v, want >= 0.3", st.MeanOverlap)
+	}
+	if st.Top10Share <= 0 || st.Top10Share > 1 {
+		t.Fatalf("Top10Share = %v", st.Top10Share)
+	}
+	if !strings.Contains(st.String(), "requests=") {
+		t.Fatalf("String() = %q", st.String())
+	}
+}
+
+func TestAnalyzeSimilarityOrdering(t *testing.T) {
+	c := testCatalog(t, 62)
+	overlapAt := func(sim float64) float64 {
+		params := TraceParams{DurationSec: 400, RequestRatePerCache: 2, Similarity: sim}
+		reqs, err := GenerateRequests(c, 6, params, simrand.New(63))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := AnalyzeRequests(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.MeanOverlap
+	}
+	high := overlapAt(0.95)
+	low := overlapAt(0.1)
+	if high <= low {
+		t.Fatalf("overlap not ordered with similarity: %v (0.95) vs %v (0.1)", high, low)
+	}
+}
+
+func TestFitZipfAlphaExact(t *testing.T) {
+	// Construct exact power-law counts: freq(r) = 10000 / r^alpha.
+	const alpha = 0.7
+	counts := make([]int, 100)
+	for r := 1; r <= 100; r++ {
+		counts[r-1] = int(10000 / math.Pow(float64(r), alpha))
+	}
+	got := fitZipfAlpha(counts)
+	if math.Abs(got-alpha) > 0.08 {
+		t.Fatalf("fitted alpha = %v, want ~%v", got, alpha)
+	}
+}
+
+func TestFitZipfAlphaDegenerate(t *testing.T) {
+	if got := fitZipfAlpha(nil); got != 0 {
+		t.Fatalf("empty fit = %v", got)
+	}
+	if got := fitZipfAlpha([]int{5}); got != 0 {
+		t.Fatalf("single-point fit = %v", got)
+	}
+	// Uniform counts -> alpha ~ 0.
+	uniform := []int{50, 50, 50, 50, 50}
+	if got := fitZipfAlpha(uniform); math.Abs(got) > 1e-9 {
+		t.Fatalf("uniform fit = %v, want 0", got)
+	}
+}
+
+func TestMeanHotSetOverlapSingleCache(t *testing.T) {
+	per := map[int]map[DocID]int{0: {1: 5}}
+	if got := meanHotSetOverlap(per, 10, 5); got != 0 {
+		t.Fatalf("single-cache overlap = %v", got)
+	}
+}

@@ -1,0 +1,51 @@
+package ecg
+
+import (
+	"edgecachegroups/internal/protocol"
+	"edgecachegroups/internal/topology"
+)
+
+// Distributed protocol: the group formation rounds as actual message
+// passing between a coordinator and per-cache agents, with retries,
+// timeouts, message loss, and crash handling.
+type (
+	// ProtocolConfig tunes the distributed group formation run.
+	ProtocolConfig = protocol.Config
+	// ProtocolResult is the outcome of a distributed run.
+	ProtocolResult = protocol.Result
+	// ProtocolCoordinator drives the protocol rounds.
+	ProtocolCoordinator = protocol.Coordinator
+	// ProtocolAgent is one edge cache's protocol endpoint.
+	ProtocolAgent = protocol.Agent
+	// ProtocolTransport delivers protocol messages.
+	ProtocolTransport = protocol.Transport
+	// ChanTransport is the in-process transport with optional loss and
+	// crash injection.
+	ChanTransport = protocol.ChanTransport
+	// ProtocolMessage is one protocol datagram.
+	ProtocolMessage = protocol.Message
+	// ProtocolAddr addresses a protocol participant.
+	ProtocolAddr = protocol.Addr
+)
+
+// NewChanTransport builds the in-process protocol transport; lossProb in
+// [0,1) drops messages using src.
+func NewChanTransport(lossProb float64, src *Rand) (*ChanTransport, error) {
+	return protocol.NewChanTransport(lossProb, src)
+}
+
+// NewProtocolAgent starts the protocol agent for cache i.
+func NewProtocolAgent(i CacheIndex, prober *Prober, transport ProtocolTransport) (*ProtocolAgent, error) {
+	return protocol.NewAgent(topology.CacheIndex(i), prober, transport)
+}
+
+// NewProtocolCoordinator builds the distributed GF-coordinator.
+func NewProtocolCoordinator(cfg ProtocolConfig, numCaches int, transport ProtocolTransport, src *Rand) (*ProtocolCoordinator, error) {
+	return protocol.NewCoordinator(cfg, numCaches, transport, src)
+}
+
+// ProtocolCoordinatorAddr returns the coordinator's protocol address.
+func ProtocolCoordinatorAddr() ProtocolAddr { return protocol.CoordinatorAddr() }
+
+// ProtocolCacheAddr returns cache i's protocol address.
+func ProtocolCacheAddr(i CacheIndex) ProtocolAddr { return protocol.CacheAddr(i) }
