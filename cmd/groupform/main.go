@@ -36,6 +36,7 @@ type output struct {
 	Converged   bool    `json:"converged"`
 	GroupSizes  []int   `json:"groupSizes"`
 	Assignments []int   `json:"assignments"`
+	Checksum    string  `json:"planChecksum"`
 	SuggestedK  int     `json:"suggestedK,omitempty"`
 }
 
@@ -68,6 +69,7 @@ func run(args []string, w io.Writer) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		asJSON   = fs.Bool("json", false, "emit JSON instead of text")
 		suggestK = fs.Bool("suggest-k", false, "also report the elbow-suggested number of groups")
+		verified = fs.Bool("verify", true, "audit the plan against the invariant-checking layer")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -96,6 +98,7 @@ func run(args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown landmark selector %q", *selector)
 	}
+	cfg.Verify = *verified
 
 	src := ecg.NewRand(*seed)
 	graph, err := ecg.GenerateTransitStub(ecg.DefaultTransitStubParams(), src.Split("topo"))
@@ -143,6 +146,7 @@ func run(args []string, w io.Writer) error {
 		Converged:   plan.Converged,
 		GroupSizes:  plan.Sizes(),
 		Assignments: plan.Assignments,
+		Checksum:    fmt.Sprintf("%016x", plan.Checksum()),
 		SuggestedK:  suggested,
 	}
 	if *asJSON {
@@ -155,6 +159,7 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "caches/K:   %d / %d\n", out.Caches, out.K)
 	fmt.Fprintf(w, "k-means:    %d iterations, converged=%v\n", out.Iterations, out.Converged)
 	fmt.Fprintf(w, "GICost:     %.1f ms (avg pairwise RTT within groups)\n", out.GICostMS)
+	fmt.Fprintf(w, "checksum:   %s\n", out.Checksum)
 	fmt.Fprintf(w, "group sizes:")
 	for _, s := range out.GroupSizes {
 		fmt.Fprintf(w, " %d", s)

@@ -1,0 +1,113 @@
+package ecg_test
+
+// Determinism golden tests: the whole pipeline must be a pure function of
+// its seed, and the Plan/Report checksums are the fingerprints that prove
+// it. These tests pin three guarantees: same seed -> identical checksum,
+// different seed -> different checksum, and probe parallelism -> no effect
+// on the outcome (scheduling must not leak into results).
+
+import (
+	"testing"
+
+	ecg "edgecachegroups"
+)
+
+// formPlan runs the full pipeline (topology -> placement -> probing ->
+// group formation) for one seed and scheme, with verification enabled.
+func formPlan(t *testing.T, seed int64, cfg ecg.SchemeConfig, k int) (*ecg.Plan, *ecg.Network) {
+	t.Helper()
+	cfg.Verify = true
+	nw, prober, src := buildStack(t, 60, seed)
+	gf, err := ecg.NewCoordinator(nw, prober, cfg, src.Split("gf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := gf.FormGroups(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, nw
+}
+
+func TestPlanChecksumGolden(t *testing.T) {
+	schemes := []struct {
+		name string
+		cfg  ecg.SchemeConfig
+	}{
+		{"SL", ecg.SL(8, 2)},
+		{"SDSL", ecg.SDSL(8, 2, 1.0)},
+	}
+	for _, s := range schemes {
+		t.Run(s.name, func(t *testing.T) {
+			plan1, nw := formPlan(t, 77, s.cfg, 6)
+			plan2, _ := formPlan(t, 77, s.cfg, 6)
+			if c1, c2 := plan1.Checksum(), plan2.Checksum(); c1 != c2 {
+				t.Fatalf("same seed, different checksums: %016x vs %016x", c1, c2)
+			}
+			plan3, _ := formPlan(t, 78, s.cfg, 6)
+			if plan1.Checksum() == plan3.Checksum() {
+				t.Fatalf("different seeds collide on checksum %016x", plan1.Checksum())
+			}
+			if err := ecg.VerifyPlan(plan1, nw); err != nil {
+				t.Fatalf("plan fails verification: %v", err)
+			}
+		})
+	}
+}
+
+func TestPlanChecksumProbeParallelismInvariant(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		cfg := ecg.SDSL(8, 2, 1.0)
+		cfg.ProbeParallelism = 1
+		plan1, _ := formPlan(t, 91, cfg, 5)
+		cfg.ProbeParallelism = par
+		plan2, _ := formPlan(t, 91, cfg, 5)
+		if c1, c2 := plan1.Checksum(), plan2.Checksum(); c1 != c2 {
+			t.Fatalf("ProbeParallelism %d changed the checksum: %016x vs %016x", par, c1, c2)
+		}
+	}
+}
+
+func TestReportChecksumGolden(t *testing.T) {
+	runSim := func(t *testing.T, seed int64) *ecg.Report {
+		t.Helper()
+		plan, nw := formPlan(t, seed, ecg.SDSL(8, 2, 1.0), 6)
+		src := ecg.NewRand(seed + 1000)
+		catalog, err := ecg.NewCatalog(ecg.DefaultCatalogParams(), src.Split("catalog"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp := ecg.TraceParams{DurationSec: 40, RequestRatePerCache: 1, Similarity: 0.8}
+		reqs, err := ecg.GenerateRequests(catalog, 60, tp, src.Split("reqs"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ups, err := ecg.GenerateUpdates(catalog, 40, src.Split("ups"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		simCfg := ecg.DefaultSimConfig()
+		simCfg.Verify = true
+		sim, err := ecg.NewSimulator(nw, plan.Groups(), catalog, simCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sim.Run(reqs, ups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ecg.VerifyReport(rep, reqs, ups); err != nil {
+			t.Fatalf("report fails verification: %v", err)
+		}
+		return rep
+	}
+	r1 := runSim(t, 55)
+	r2 := runSim(t, 55)
+	if c1, c2 := r1.Checksum(), r2.Checksum(); c1 != c2 {
+		t.Fatalf("same seed, different report checksums: %016x vs %016x", c1, c2)
+	}
+	r3 := runSim(t, 56)
+	if r1.Checksum() == r3.Checksum() {
+		t.Fatalf("different seeds collide on report checksum %016x", r1.Checksum())
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"edgecachegroups/internal/probe"
 	"edgecachegroups/internal/simrand"
 	"edgecachegroups/internal/topology"
+	"edgecachegroups/internal/verify"
 	"edgecachegroups/internal/workload"
 )
 
@@ -252,6 +253,35 @@ type (
 	// LatencyStats accumulates latency samples.
 	LatencyStats = metrics.LatencyStats
 )
+
+// Verification layer.
+type (
+	// Stages records per-pipeline-stage timing and work counters
+	// (landmark selection, feature probing, embedding, clustering,
+	// simulation).
+	Stages = verify.Stages
+	// StageStat is a snapshot of one stage's counters.
+	StageStat = verify.StageStat
+	// VerifyError is a violated pipeline invariant; its Stage field names
+	// the check that failed.
+	VerifyError = verify.Error
+)
+
+// VerifyPlan checks a formed plan's structural invariants: every cache in
+// exactly one group, no empty groups, consistent dimensions, and — for
+// unedited K-means plans — centers equal to member means. A nil nw skips
+// the network-coverage check. Plans also carry a stable fingerprint via
+// Plan.Checksum for determinism audits.
+func VerifyPlan(plan *Plan, nw *Network) error { return plan.Verify(nw) }
+
+// VerifyReport checks a simulation report's conservation invariants
+// against the offered request and update logs (outcome counts sum to
+// recorded requests, counters non-negative and bounded, per-cache and
+// per-group aggregates consistent). Reports also carry a stable
+// fingerprint via Report.Checksum.
+func VerifyReport(rep *Report, requests []Request, updates []Update) error {
+	return rep.Verify(requests, updates)
+}
 
 // GroupInteractionCost returns the mean pairwise RTT of one group (the
 // paper's GICost).

@@ -138,7 +138,6 @@ func KMeans(points []Vector, k int, seeder Seeder, opts Options, src *simrand.So
 
 	// Iterative phase.
 	res := &Result{Assignments: assign, Centers: centers}
-	threshold := int(opts.ReassignFrac * float64(n))
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		recomputeCenters(points, res.Assignments, res.Centers)
 		repairEmptyClusters(points, res.Assignments, res.Centers)
@@ -150,14 +149,21 @@ func KMeans(points []Vector, k int, seeder Seeder, opts Options, src *simrand.So
 			}
 		}
 		res.Iterations = iter + 1
-		if moved <= threshold {
+		// The termination threshold is a true fraction: int truncation would
+		// turn e.g. ReassignFrac=0.01 at n=50 into strict convergence.
+		if float64(moved)/float64(n) <= opts.ReassignFrac {
 			res.Converged = true
 			break
 		}
 	}
-	// Final means must reflect the final assignment.
+	// Final means must reflect the final assignment. A repair moves a point
+	// between clusters, which stales the donor's (and recipient's) mean, so
+	// iterate repair→recompute until no repair fires: Result.Centers must be
+	// exactly the means of Result.Assignments.
 	recomputeCenters(points, res.Assignments, res.Centers)
-	repairEmptyClusters(points, res.Assignments, res.Centers)
+	for repairEmptyClusters(points, res.Assignments, res.Centers) {
+		recomputeCenters(points, res.Assignments, res.Centers)
+	}
 	return res, nil
 }
 
@@ -203,13 +209,16 @@ func recomputeCenters(points []Vector, assign []int, centers []Vector) {
 // repairEmptyClusters re-seeds any empty cluster at the point currently
 // farthest from its assigned center, stealing it from a cluster with more
 // than one member. This keeps all K groups non-degenerate, which the group
-// formation problem requires (K disjoint non-empty groups).
-func repairEmptyClusters(points []Vector, assign []int, centers []Vector) {
+// formation problem requires (K disjoint non-empty groups). It reports
+// whether any assignment changed, so callers can recompute the affected
+// means.
+func repairEmptyClusters(points []Vector, assign []int, centers []Vector) bool {
 	k := len(centers)
 	counts := make([]int, k)
 	for _, a := range assign {
 		counts[a]++
 	}
+	repaired := false
 	for c := 0; c < k; c++ {
 		if counts[c] > 0 {
 			continue
@@ -232,5 +241,7 @@ func repairEmptyClusters(points []Vector, assign []int, centers []Vector) {
 		assign[best] = c
 		counts[c] = 1
 		centers[c] = points[best].Clone()
+		repaired = true
 	}
+	return repaired
 }

@@ -406,3 +406,73 @@ func TestSuggestKIdenticalPoints(t *testing.T) {
 		t.Fatalf("identical points SuggestK = %d, want 1", k)
 	}
 }
+
+// fixedSeeder returns a predetermined seed index set, so tests can steer
+// the initialization phase into a specific configuration.
+type fixedSeeder struct {
+	indices []int
+}
+
+func (f fixedSeeder) Seed([]Vector, int, *simrand.Source) ([]int, error) {
+	return f.indices, nil
+}
+
+func TestKMeansFinalCentersAreMeans(t *testing.T) {
+	// Crafted 1-D input whose last reassignment round empties cluster 0:
+	// after the round-one recompute the cluster {0, 10} has mean 5, point 0
+	// flees to cluster 1 (mean -2) and point 10 flees to cluster 2 (mean
+	// 14.1). MaxIterations=1 ends the loop right there, so the post-loop
+	// empty-cluster repair must fire: it steals point 21 (farthest from its
+	// mean) into cluster 0, staling the donor cluster's center. The
+	// repair-then-recompute loop must leave Centers exactly equal to the
+	// member means of the final Assignments; before that loop existed the
+	// donor center kept the stolen point's contribution.
+	points := []Vector{{0}, {10}, {-1}, {-3}, {21}, {10.6}, {10.7}}
+	res, err := KMeans(points, 3, fixedSeeder{[]int{0, 2, 4}}, Options{MaxIterations: 1}, simrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAssign := []int{1, 2, 1, 1, 0, 2, 2}
+	for i, a := range res.Assignments {
+		if a != wantAssign[i] {
+			t.Fatalf("assignments = %v, want %v (crafted repair scenario did not materialize)", res.Assignments, wantAssign)
+		}
+	}
+	for c := 0; c < res.K(); c++ {
+		members := res.Members(c)
+		if len(members) == 0 {
+			t.Fatalf("cluster %d left empty", c)
+		}
+		var mean float64
+		for _, i := range members {
+			mean += points[i][0]
+		}
+		mean /= float64(len(members))
+		if got := res.Centers[c][0]; math.Abs(got-mean) > 1e-12 {
+			t.Fatalf("cluster %d center = %v, want member mean %v (stale center)", c, got, mean)
+		}
+	}
+}
+
+func TestKMeansReassignFracBoundary(t *testing.T) {
+	// Exactly 15 of 22 points move in round one: one anchor at -1, a blob
+	// of 15 near 0 that is dragged to the anchor when two far heavyweights
+	// pull the second seeded center to ~2858, and 6 heavyweights that stay.
+	// ReassignFrac = 15/22 must count that round as converged; the old
+	// int-truncated threshold int(15.0/22.0*22) == 14 wrongly demanded
+	// another round.
+	points := []Vector{{-1}}
+	for i := 0; i < 15; i++ {
+		points = append(points, Vector{0.1 * float64(i)})
+	}
+	for i := 0; i < 6; i++ {
+		points = append(points, Vector{10000 + float64(i)})
+	}
+	res, err := KMeans(points, 2, fixedSeeder{[]int{0, 1}}, Options{MaxIterations: 10, ReassignFrac: 15.0 / 22.0}, simrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations != 1 {
+		t.Fatalf("converged=%v after %d iterations, want convergence in exactly 1 (fraction threshold truncated)", res.Converged, res.Iterations)
+	}
+}

@@ -83,7 +83,6 @@ func KMedoids(points []Vector, k int, seeder Seeder, opts Options, src *simrand.
 	assignAll()
 
 	res := &Result{Assignments: assign}
-	threshold := int(opts.ReassignFrac * float64(n))
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		// Update step: each medoid becomes the member minimizing the total
 		// distance to its cluster.
@@ -110,7 +109,9 @@ func KMedoids(points []Vector, k int, seeder Seeder, opts Options, src *simrand.
 		}
 		moved := assignAll()
 		res.Iterations = iter + 1
-		if !changed && moved <= threshold {
+		// True-fraction threshold, matching KMeans (int truncation would
+		// silently tighten the documented ReassignFrac semantics).
+		if !changed && float64(moved)/float64(n) <= opts.ReassignFrac {
 			res.Converged = true
 			break
 		}

@@ -71,6 +71,7 @@ func (p *Plan) Balance(opts BalanceOptions) error {
 				p.Assignments[idx] = dst
 				sizes[g]--
 				sizes[dst]++
+				p.edited = true
 			}
 		}
 	}
@@ -86,6 +87,7 @@ func (p *Plan) Balance(opts BalanceOptions) error {
 			sizes[p.Assignments[idx]]--
 			p.Assignments[idx] = g
 			sizes[g]++
+			p.edited = true
 		}
 	}
 	return nil

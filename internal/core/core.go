@@ -28,6 +28,7 @@ import (
 	"edgecachegroups/internal/probe"
 	"edgecachegroups/internal/simrand"
 	"edgecachegroups/internal/topology"
+	"edgecachegroups/internal/verify"
 	"edgecachegroups/internal/vivaldi"
 )
 
@@ -111,6 +112,11 @@ type Config struct {
 	// ProbeParallelism bounds the concurrent per-cache probing fan-out; 0
 	// means a sensible default.
 	ProbeParallelism int
+	// Verify enables the invariant-checking layer: FormGroups audits the
+	// finished plan (partition well-formedness, centers-are-means,
+	// dimension consistency) and fails loudly instead of returning a
+	// silently inconsistent partition.
+	Verify bool
 }
 
 // SL returns the paper's SL scheme configuration: greedy landmark
@@ -220,6 +226,7 @@ type Coordinator struct {
 	prober *probe.Prober
 	cfg    Config
 	src    *simrand.Source
+	stages verify.Stages
 }
 
 // NewCoordinator builds a Coordinator. The source drives landmark
@@ -249,7 +256,15 @@ func (gf *Coordinator) Config() Config { return gf.cfg }
 // Network returns the underlying edge cache network.
 func (gf *Coordinator) Network() *topology.Network { return gf.nw }
 
+// Stages returns the coordinator's per-stage timing/counter instrumentation
+// (landmark selection, feature probing, embedding, clustering),
+// accumulated across FormGroups calls in the same style as the Prober's
+// overhead counters.
+func (gf *Coordinator) Stages() *verify.Stages { return &gf.stages }
+
 // FormGroups partitions the network's caches into k cooperative groups.
+// With Config.Verify set, the finished plan is audited against the
+// invariant-checking layer before being returned.
 func (gf *Coordinator) FormGroups(k int) (*Plan, error) {
 	n := gf.nw.NumCaches()
 	if k < 1 || k > n {
@@ -257,31 +272,39 @@ func (gf *Coordinator) FormGroups(k int) (*Plan, error) {
 	}
 
 	// Step 1: choose the landmark set.
+	stopSelect := gf.stages.Start("landmark-select")
 	lms, err := gf.cfg.Selector.Select(gf.prober, n, gf.cfg.Landmarks, gf.src.Split("landmarks"))
+	stopSelect()
 	if err != nil {
 		return nil, fmt.Errorf("select landmarks: %w", err)
 	}
+	gf.stages.Add("landmark-select", int64(len(lms)))
 
 	// Step 2: every cache probes the landmarks to build its feature vector.
+	stopProbe := gf.stages.Start("probe-features")
 	features, serverDist, err := gf.measureFeatures(lms)
+	stopProbe()
 	if err != nil {
 		return nil, fmt.Errorf("measure feature vectors: %w", err)
 	}
+	gf.stages.Add("probe-features", int64(n))
 
 	// Optional representation change: GNP or Vivaldi coordinates.
 	points := features
 	var lmCoords [][]float64
-	switch gf.cfg.Representation {
-	case Euclidean:
-		points, lmCoords, err = gf.embed(lms, features)
-		if err != nil {
-			return nil, fmt.Errorf("euclidean embedding: %w", err)
+	if gf.cfg.Representation == Euclidean || gf.cfg.Representation == Vivaldi {
+		stopEmbed := gf.stages.Start("embed")
+		switch gf.cfg.Representation {
+		case Euclidean:
+			points, lmCoords, err = gf.embed(lms, features)
+		case Vivaldi:
+			points, lmCoords, err = gf.embedVivaldi(lms, features)
 		}
-	case Vivaldi:
-		points, lmCoords, err = gf.embedVivaldi(lms, features)
+		stopEmbed()
 		if err != nil {
-			return nil, fmt.Errorf("vivaldi embedding: %w", err)
+			return nil, fmt.Errorf("%v embedding: %w", gf.cfg.Representation, err)
 		}
+		gf.stages.Add("embed", int64(len(points)))
 	}
 
 	// Step 3: cluster. SDSL biases the initial centers toward the origin.
@@ -289,16 +312,23 @@ func (gf *Coordinator) FormGroups(k int) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	algo := gf.cfg.Algorithm
+	if algo == 0 {
+		algo = AlgoKMeans
+	}
 	clusterFn := cluster.KMeans
-	if gf.cfg.Algorithm == AlgoKMedoids {
+	if algo == AlgoKMedoids {
 		clusterFn = cluster.KMedoids
 	}
+	stopCluster := gf.stages.Start("cluster")
 	res, err := clusterFn(points, k, seeder, gf.cfg.Cluster, gf.src.Split("kmeans"))
+	stopCluster()
 	if err != nil {
 		return nil, fmt.Errorf("cluster caches: %w", err)
 	}
+	gf.stages.Add("cluster", int64(len(points)))
 
-	return &Plan{
+	plan := &Plan{
 		Scheme:         gf.cfg.Name(),
 		Landmarks:      lms,
 		Features:       features,
@@ -307,9 +337,19 @@ func (gf *Coordinator) FormGroups(k int) (*Plan, error) {
 		ServerDist:     serverDist,
 		Assignments:    res.Assignments,
 		Centers:        res.Centers,
+		Algorithm:      algo,
 		Iterations:     res.Iterations,
 		Converged:      res.Converged,
-	}, nil
+	}
+	if gf.cfg.Verify {
+		stopVerify := gf.stages.Start("verify")
+		err := plan.Verify(gf.nw)
+		stopVerify()
+		if err != nil {
+			return nil, fmt.Errorf("core: plan failed verification: %w", err)
+		}
+	}
+	return plan, nil
 }
 
 // measureFeatures probes all landmarks from every cache concurrently.

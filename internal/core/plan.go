@@ -6,6 +6,7 @@ import (
 	"edgecachegroups/internal/cluster"
 	"edgecachegroups/internal/probe"
 	"edgecachegroups/internal/topology"
+	"edgecachegroups/internal/verify"
 )
 
 // Plan is the result of group formation: the partition of caches into K
@@ -30,9 +31,18 @@ type Plan struct {
 	Assignments []int
 	// Centers are the final cluster centers in the clustered space.
 	Centers []cluster.Vector
+	// Algorithm records which clustering algorithm produced the plan
+	// (K-means centers are member means; K-medoids centers are real
+	// points). Zero on plans built before this field existed.
+	Algorithm Algorithm
 	// Iterations and Converged report the K-means outcome.
 	Iterations int
 	Converged  bool
+
+	// edited is set once assignments are changed without recomputing the
+	// centers (Balance, AddCache, RemoveCache); it relaxes the
+	// centers-are-means invariant in Verify.
+	edited bool
 }
 
 // NumGroups returns K.
@@ -123,6 +133,7 @@ func (p *Plan) AddCache(point cluster.Vector, serverDist float64) (int, error) {
 	p.Features = append(p.Features, point) // raw features unavailable for embedded points
 	p.ServerDist = append(p.ServerDist, serverDist)
 	p.Assignments = append(p.Assignments, g)
+	p.edited = true
 	return g, nil
 }
 
@@ -143,5 +154,49 @@ func (p *Plan) RemoveCache(i topology.CacheIndex) error {
 	if idx < len(p.ServerDist) {
 		p.ServerDist = append(p.ServerDist[:idx], p.ServerDist[idx+1:]...)
 	}
+	p.edited = true
 	return nil
+}
+
+// Verify checks the plan's structural invariants: a well-formed partition
+// (every cache in exactly one group, no empty groups), consistent
+// dimensions across points/features/centers, and — for unedited K-means
+// plans — that every center is exactly the mean of its members. A nil nw
+// skips the network-coverage check.
+func (p *Plan) Verify(nw *topology.Network) error {
+	numCaches := 0
+	if nw != nil {
+		numCaches = nw.NumCaches()
+	}
+	return verify.Plan(verify.PlanData{
+		NumCaches:       numCaches,
+		K:               len(p.Centers),
+		Assignments:     p.Assignments,
+		Points:          p.Points,
+		Centers:         p.Centers,
+		Features:        p.Features,
+		CentersAreMeans: p.Algorithm == AlgoKMeans && !p.edited,
+	})
+}
+
+// Checksum returns a stable FNV-1a digest of the plan's outcome: the
+// scheme name, the group count, the assignments, and the measured/derived
+// coordinates. Two runs of the same (seed, config) pair must produce equal
+// checksums regardless of probing concurrency; different seeds must not.
+func (p *Plan) Checksum() uint64 {
+	d := verify.NewDigest()
+	d.String(p.Scheme)
+	d.Int(len(p.Centers))
+	d.Ints(p.Assignments)
+	d.Floats(p.ServerDist)
+	for _, f := range p.Features {
+		d.Floats(f)
+	}
+	for _, pt := range p.Points {
+		d.Floats(pt)
+	}
+	for _, c := range p.Centers {
+		d.Floats(c)
+	}
+	return d.Sum64()
 }

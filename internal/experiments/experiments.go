@@ -35,6 +35,11 @@ type Options struct {
 	// Trials averages stochastic experiments over this many seeds; 0 means
 	// the default (1 at full scale).
 	Trials int
+	// NoVerify disables the invariant-checking layer. The zero value keeps
+	// it ON: every figure run audits its plans (partition well-formedness,
+	// centers-are-means) and reports (conservation laws) so a silently
+	// inconsistent simulation cannot make it into a rendered table.
+	NoVerify bool
 }
 
 // DefaultOptions returns full-scale, single-trial options.
@@ -93,6 +98,7 @@ type env struct {
 	requests []workload.Request
 	updates  []workload.Update
 	simCfg   netsim.Config
+	verify   bool
 }
 
 // newEnv builds the simulation environment for a network of numCaches
@@ -114,7 +120,8 @@ func newEnv(numCaches int, o Options, seed int64, withTraces bool) (*env, error)
 	if err != nil {
 		return nil, fmt.Errorf("build prober: %w", err)
 	}
-	e := &env{nw: nw, prober: prober, simCfg: netsim.DefaultConfig()}
+	e := &env{nw: nw, prober: prober, simCfg: netsim.DefaultConfig(), verify: !o.NoVerify}
+	e.simCfg.Verify = e.verify
 	if !withTraces {
 		return e, nil
 	}
@@ -147,8 +154,11 @@ func newEnv(numCaches int, o Options, seed int64, withTraces bool) (*env, error)
 	return e, nil
 }
 
-// formGroups runs a scheme on the environment.
+// formGroups runs a scheme on the environment. The env's verify setting
+// overrides the scheme config's, so every figure run is audited unless the
+// caller opted out.
 func (e *env) formGroups(cfg core.Config, k int, src *simrand.Source) (*core.Plan, error) {
+	cfg.Verify = e.verify
 	gf, err := core.NewCoordinator(e.nw, e.prober, cfg, src)
 	if err != nil {
 		return nil, err

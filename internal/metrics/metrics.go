@@ -83,6 +83,10 @@ func (s *LatencyStats) Merge(other *LatencyStats) {
 // Count returns the number of samples.
 func (s *LatencyStats) Count() int { return len(s.samples) }
 
+// Sum returns the exact running total of all samples, for conservation
+// checks and bit-stable digests (Mean()*Count() would reintroduce rounding).
+func (s *LatencyStats) Sum() float64 { return s.sum }
+
 // Mean returns the average sample, or 0 with no samples.
 func (s *LatencyStats) Mean() float64 {
 	if len(s.samples) == 0 {

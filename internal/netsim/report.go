@@ -5,6 +5,8 @@ import (
 
 	"edgecachegroups/internal/metrics"
 	"edgecachegroups/internal/topology"
+	"edgecachegroups/internal/verify"
+	"edgecachegroups/internal/workload"
 )
 
 // outcome classifies how a request was served.
@@ -157,6 +159,73 @@ func (r *Report) HitRates() (local, group, origin float64) {
 		return 0, 0, 0
 	}
 	return float64(r.LocalHits) / total, float64(r.GroupHits) / total, float64(r.OriginFetches) / total
+}
+
+// Verify checks the report's conservation invariants against the offered
+// request and update logs: per-outcome counts sum to recorded requests,
+// recorded counts never exceed offered ones, origin volume is consistent
+// with origin-served requests, invalidation counters are non-negative and
+// bounded, and the per-cache/per-group aggregates agree with the overall
+// counters. It is called automatically by Run when Config.Verify is set.
+func (r *Report) Verify(requests []workload.Request, updates []workload.Update) error {
+	return r.verifyWithBounds(int64(len(requests)), int64(len(updates)), 0, 0)
+}
+
+func (r *Report) verifyWithBounds(offeredRequests, offeredUpdates int64, minDocKB, maxDocKB float64) error {
+	perCache := make([]int64, len(r.PerCache))
+	for i := range r.PerCache {
+		perCache[i] = int64(r.PerCache[i].Count())
+	}
+	perGroup := make([]int64, len(r.PerGroup))
+	for g := range r.PerGroup {
+		perGroup[g] = r.PerGroup[g].Requests
+	}
+	if c := int64(r.Overall.Count()); c != r.requests {
+		return fmt.Errorf("verify report: overall aggregate holds %d samples, recorded requests %d", c, r.requests)
+	}
+	return verify.Report(verify.ReportData{
+		Requests:               r.requests,
+		LocalHits:              r.LocalHits,
+		GroupHits:              r.GroupHits,
+		OriginFetches:          r.OriginFetches,
+		FailoverFetches:        r.FailoverFetches,
+		Updates:                r.Updates,
+		OfferedRequests:        offeredRequests,
+		OfferedUpdates:         offeredUpdates,
+		OriginKB:               r.OriginKB,
+		MinDocKB:               minDocKB,
+		MaxDocKB:               maxDocKB,
+		InvalidationsOrigin:    r.InvalidationsOrigin,
+		InvalidationsForwarded: r.InvalidationsForwarded,
+		NumGroups:              len(r.PerGroup),
+		PerCacheCounts:         perCache,
+		PerGroupCounts:         perGroup,
+	})
+}
+
+// Checksum returns a stable FNV-1a digest of the report's aggregates:
+// request/outcome/update counters, origin volume, invalidation counters,
+// and the per-cache and per-group sums. Replaying the same (seed, config)
+// pair must reproduce the checksum bit-for-bit.
+func (r *Report) Checksum() uint64 {
+	d := verify.NewDigest()
+	d.Int64(r.requests)
+	d.Int64(r.LocalHits).Int64(r.GroupHits).Int64(r.OriginFetches).Int64(r.FailoverFetches)
+	d.Int64(r.Updates)
+	d.Float64(r.OriginKB)
+	d.Int64(r.InvalidationsOrigin).Int64(r.InvalidationsForwarded)
+	d.Int(r.Overall.Count()).Float64(r.Overall.Sum())
+	d.Int(len(r.PerCache))
+	for i := range r.PerCache {
+		d.Int(r.PerCache[i].Count()).Float64(r.PerCache[i].Sum())
+	}
+	d.Int(len(r.PerGroup))
+	for g := range r.PerGroup {
+		gs := &r.PerGroup[g]
+		d.Int64(gs.Requests).Int64(gs.LocalHits).Int64(gs.GroupHits).Int64(gs.OriginFetches)
+		d.Float64(gs.latencySum)
+	}
+	return d.Sum64()
 }
 
 // String implements fmt.Stringer with a one-line summary.

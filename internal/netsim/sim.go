@@ -8,6 +8,7 @@ import (
 
 	"edgecachegroups/internal/cache"
 	"edgecachegroups/internal/topology"
+	"edgecachegroups/internal/verify"
 	"edgecachegroups/internal/workload"
 )
 
@@ -47,9 +48,17 @@ type Config struct {
 	// request with its routing outcome — an observability hook for custom
 	// analyses. It must not retain the trace beyond the call.
 	TraceFn func(RequestTrace)
-	// WarmupSec excludes the initial cold-cache phase from latency
-	// statistics (events still execute).
+	// WarmupSec excludes the initial cold-cache phase from all recorded
+	// statistics — request latencies AND update/invalidation counters use
+	// the same cutoff, so overhead-vs-latency comparisons are measured
+	// over one window (events still execute).
 	WarmupSec float64
+	// Verify enables the invariant-checking layer: Run audits the finished
+	// report's conservation laws (outcome counts sum to recorded requests,
+	// origin volume consistent with origin-served requests, bounded
+	// invalidation counters) and fails loudly instead of returning silently
+	// inconsistent numbers.
+	Verify bool
 	// FailedCaches lists caches that are down for the whole run: they serve
 	// no cooperative lookups and their own clients fail over to the origin.
 	FailedCaches []topology.CacheIndex
@@ -123,6 +132,7 @@ type Simulator struct {
 	seq           int64
 	ran           bool
 	holderScratch []topology.CacheIndex // reused per-request holder buffer
+	stages        verify.Stages
 }
 
 // New builds a simulator for the given group partition. groups must cover
@@ -315,6 +325,8 @@ func (s *Simulator) Run(requests []workload.Request, updates []workload.Update) 
 		s.push(event{timeSec: u.TimeSec, kind: evUpdate, doc: u.Doc})
 	}
 
+	stopSim := s.stages.Start("simulate")
+	s.stages.Add("simulate", int64(len(requests)+len(updates)))
 	rep := newReport(len(s.caches), s.numGroups, s.groupOf)
 	for s.queue.Len() > 0 {
 		ev := heap.Pop(&s.queue).(event)
@@ -323,16 +335,56 @@ func (s *Simulator) Run(requests []workload.Request, updates []workload.Update) 
 			s.handleRequest(ev, rep)
 		case evUpdate:
 			s.version[int(ev.doc)]++
-			rep.Updates++
+			// Update-side counters honor the same warmup window as the
+			// request-side stats, so overhead-vs-latency comparisons are
+			// measured over one window. The update itself (version bump,
+			// invalidation of cached copies) always executes.
+			record := ev.timeSec >= s.cfg.WarmupSec
+			if record {
+				rep.Updates++
+			}
 			if s.cfg.PushInvalidation {
-				s.pushInvalidate(ev.doc, rep)
+				s.pushInvalidate(ev.doc, rep, record)
 			}
 		case evFetchComplete:
 			s.handleFetchComplete(ev)
 		}
 	}
+	stopSim()
+	if s.cfg.Verify {
+		stopVerify := s.stages.Start("verify")
+		minKB, maxKB := s.docSizeBounds()
+		err := rep.verifyWithBounds(int64(len(requests)), int64(len(updates)), minKB, maxKB)
+		stopVerify()
+		if err != nil {
+			return nil, fmt.Errorf("netsim: report failed verification: %w", err)
+		}
+	}
 	return rep, nil
 }
+
+// docSizeBounds returns the smallest and largest document size in the
+// catalog, bounding the origin volume a given origin-served request count
+// can legitimately produce.
+func (s *Simulator) docSizeBounds() (minKB, maxKB float64) {
+	for id := 0; id < s.catalog.NumDocuments(); id++ {
+		d, err := s.catalog.Doc(workload.DocID(id))
+		if err != nil {
+			continue
+		}
+		if minKB == 0 || d.SizeKB < minKB {
+			minKB = d.SizeKB
+		}
+		if d.SizeKB > maxKB {
+			maxKB = d.SizeKB
+		}
+	}
+	return minKB, maxKB
+}
+
+// Stages returns the simulator's timing/counter instrumentation, in the
+// same style as the Prober's overhead counters.
+func (s *Simulator) Stages() *verify.Stages { return &s.stages }
 
 // handleRequest serves one client request and records its latency.
 func (s *Simulator) handleRequest(ev event, rep *Report) {
@@ -478,13 +530,18 @@ func (s *Simulator) handleFetchComplete(ev event) {
 // pushInvalidate actively drops every cached copy of doc and accounts for
 // the invalidation traffic: one origin message per group holding the
 // document, plus intra-group forwards to the remaining holders. Without
-// groups the origin would message every holder directly.
-func (s *Simulator) pushInvalidate(doc workload.DocID, rep *Report) {
+// groups the origin would message every holder directly. The counters are
+// recorded only when record is true (post-warmup); the invalidation itself
+// always happens.
+func (s *Simulator) pushInvalidate(doc workload.DocID, rep *Report, record bool) {
 	groupHolders := make(map[int]int)
 	for i, ec := range s.caches {
 		if ec.Invalidate(doc) {
 			groupHolders[s.groupOf[i]]++
 		}
+	}
+	if !record {
+		return
 	}
 	for _, holders := range groupHolders {
 		rep.InvalidationsOrigin++

@@ -792,3 +792,51 @@ func TestPushInvalidationSavesOriginMessages(t *testing.T) {
 			rep.InvalidationsOrigin+rep.InvalidationsForwarded)
 	}
 }
+
+func TestWarmupExcludesUpdatesAndInvalidations(t *testing.T) {
+	// Update accounting must honor the same warm-up cutoff as request
+	// accounting: the update at t=1 (inside warm-up) still invalidates the
+	// cached copies — the recorded request at t=2 goes back to the origin —
+	// but it must not appear in Updates or the invalidation-message
+	// counters. Only the update at t=3 is recorded.
+	nw := lineNetwork(t)
+	cat := fixedCatalog(t, 3)
+	cfg := exactConfig()
+	cfg.WarmupSec = 1.5
+	cfg.PushInvalidation = true
+	sim, err := New(nw, oneGroup(), cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requests := []workload.Request{
+		req(0.2, 0, 0), // warm-up: c0 fetches doc 0 from the origin
+		req(0.5, 1, 0), // warm-up: c1 group-hits and caches a copy
+		req(2.0, 0, 0), // recorded: origin again (warm-up update invalidated)
+		req(2.5, 1, 0), // recorded: group hit, c1 holds a copy again
+		req(4.0, 0, 0), // recorded: origin again after the recorded update
+	}
+	updates := []workload.Update{
+		{TimeSec: 1, Doc: 0}, // warm-up: invalidates, but is not counted
+		{TimeSec: 3, Doc: 0}, // recorded
+	}
+	rep, err := sim.Run(requests, updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests() != 3 {
+		t.Fatalf("recorded %d requests, want 3", rep.Requests())
+	}
+	if rep.OriginFetches != 2 || rep.GroupHits != 1 {
+		t.Fatalf("origin=%d group=%d, want 2/1 (warm-up update must still invalidate)", rep.OriginFetches, rep.GroupHits)
+	}
+	if rep.Updates != 1 {
+		t.Fatalf("Updates = %d, want 1 (warm-up update leaked into the count)", rep.Updates)
+	}
+	// At t=3 both caches in the one group hold doc 0: one origin message
+	// plus one intra-group forward. The warm-up invalidation contributes
+	// nothing.
+	if rep.InvalidationsOrigin != 1 || rep.InvalidationsForwarded != 1 {
+		t.Fatalf("invalidation msgs = %d origin / %d forwarded, want 1/1",
+			rep.InvalidationsOrigin, rep.InvalidationsForwarded)
+	}
+}

@@ -156,10 +156,17 @@ func (p *Prober) TrueRTT(a, b Endpoint) float64 {
 
 // Measure performs a full measurement between a and b: Samples probes
 // (each retried on loss), averaged. The result is deterministic for a
-// given (seed, a, b) and symmetric in (a, b).
+// given (seed, a, b) and symmetric in (a, b). Measuring an endpoint
+// against itself is exactly 0 — no probe is sent, matching the zero
+// diagonal of MeasureMatrix (a cache that is itself a landmark must not
+// see a spurious noise-floor self-distance in its feature vector).
 func (p *Prober) Measure(a, b Endpoint) (float64, error) {
 	// Canonical pair order so Measure(a,b) == Measure(b,a).
 	ka, kb := a.key(), b.key()
+	if ka == kb {
+		p.measurements.Add(1)
+		return 0, nil
+	}
 	if ka > kb {
 		ka, kb = kb, ka
 	}

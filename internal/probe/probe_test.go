@@ -345,3 +345,59 @@ func TestProbeCountersIncludeRetries(t *testing.T) {
 		t.Fatalf("ProbesSent = %d, want > %d with retries", got, cfg.Samples)
 	}
 }
+
+func TestMeasureSelfIsZero(t *testing.T) {
+	// A cache's RTT to itself is zero by definition. Measure must agree
+	// with the MeasureMatrix diagonal instead of synthesizing a noisy
+	// nonzero sample for the self pair.
+	nw := testNetwork(t, 8)
+	cfg := DefaultConfig()
+	cfg.NoiseFrac = 0.2
+	p, err := NewProber(nw, cfg, simrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range []Endpoint{Origin(), Cache(0), Cache(5)} {
+		got, err := p.Measure(ep, ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 0 {
+			t.Fatalf("Measure(%v, %v) = %v, want 0", ep, ep, got)
+		}
+	}
+	eps := []Endpoint{Origin(), Cache(0), Cache(1), Cache(2)}
+	m, err := p.MeasureMatrix(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range eps {
+		if m[i][i] != 0 {
+			t.Fatalf("matrix diagonal [%d][%d] = %v, want 0", i, i, m[i][i])
+		}
+		single, err := p.Measure(eps[i], eps[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single != m[i][i] {
+			t.Fatalf("self Measure %v disagrees with matrix diagonal %v", single, m[i][i])
+		}
+	}
+}
+
+func TestMeasureSelfCountsAsMeasurement(t *testing.T) {
+	nw := testNetwork(t, 4)
+	p, err := NewProber(nw, DefaultConfig(), simrand.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Measure(Cache(1), Cache(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Measurements(); got != 1 {
+		t.Fatalf("Measurements() = %d after a self measure, want 1", got)
+	}
+	if got := p.ProbesSent(); got != 0 {
+		t.Fatalf("ProbesSent() = %d after a self measure, want 0 (no packets on the wire)", got)
+	}
+}

@@ -37,13 +37,23 @@ func (s *Source) Seed() int64 { return s.seed }
 // function of (parent seed, label), so concurrent consumers can be given
 // stable, non-overlapping streams regardless of the order in which they are
 // created.
+//
+// The parent's contribution is seed*prime folded with an FNV-1a hash of
+// the label. Seed 0 is remapped to the FNV offset basis first: without the
+// remap, seed*prime collapses to 0 (the prime is odd, so 0 is the only
+// fixed point) and every child of a seed-0 parent would be a function of
+// the label alone — the same label tree rooted at seed 0 would collide
+// with itself across nominally independent components.
 func (s *Source) Split(label string) *Source {
-	h := uint64(s.seed)
-	// FNV-1a over the label, folded into the parent seed.
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
+	h := uint64(s.seed)
+	if h == 0 {
+		h = offset64
+	}
+	// FNV-1a over the label, folded into the parent seed.
 	var fh uint64 = offset64
 	for i := 0; i < len(label); i++ {
 		fh ^= uint64(label[i])

@@ -333,3 +333,43 @@ func TestZipfSampleInRangeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSplitSeedZeroNotDegenerate(t *testing.T) {
+	// Seed 0 is the only fixed point of the seed*prime fold: without the
+	// offset-basis remap, every child of a seed-0 parent would be seeded
+	// with the pure FNV-1a label hash, independent of the parent entirely.
+	const (
+		offset64 uint64 = 14695981039346656037
+		prime64  uint64 = 1099511628211
+	)
+	labelHash := func(label string) int64 {
+		fh := offset64
+		for i := 0; i < len(label); i++ {
+			fh ^= uint64(label[i])
+			fh *= prime64
+		}
+		return int64(fh)
+	}
+	child := New(0).Split("topo")
+	if child.Seed() == labelHash("topo") {
+		t.Fatal("seed-0 Split degenerates to the pure label hash")
+	}
+	// The guard must not disturb any nonzero parent's streams.
+	if got, want := New(7).Split("topo").Seed(), int64((uint64(7)*prime64)^uint64(labelHash("topo"))); got != want {
+		t.Fatalf("nonzero parent stream changed: got seed %d, want %d", got, want)
+	}
+	// Distinct labels still yield distinct streams under seed 0.
+	a, b := New(0).Split("a"), New(0).Split("b")
+	if a.Seed() == b.Seed() {
+		t.Fatal("seed-0 children collide across labels")
+	}
+	same := 0
+	for i := 0; i < 16; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Fatal("seed-0 children emit identical streams")
+	}
+}

@@ -1,0 +1,85 @@
+package verify
+
+import "math"
+
+// Digest is a stable FNV-1a accumulator used to fingerprint run artifacts
+// (group assignments, report aggregates) for determinism checks: a given
+// (seed, config) pair must replay to bit-identical checksums regardless of
+// concurrency schedule or platform. Floats are hashed via their IEEE-754
+// bit patterns, so equality is exact, not approximate.
+//
+// The zero Digest is not valid; construct with NewDigest.
+type Digest struct {
+	h uint64
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// NewDigest returns a Digest initialized with the FNV-1a offset basis.
+func NewDigest() *Digest {
+	return &Digest{h: fnvOffset64}
+}
+
+// byte folds one byte into the hash.
+func (d *Digest) byte(b byte) {
+	d.h ^= uint64(b)
+	d.h *= fnvPrime64
+}
+
+// Uint64 folds v into the digest (little-endian byte order).
+func (d *Digest) Uint64(v uint64) *Digest {
+	for i := 0; i < 8; i++ {
+		d.byte(byte(v >> (8 * i)))
+	}
+	return d
+}
+
+// Int64 folds v into the digest.
+func (d *Digest) Int64(v int64) *Digest { return d.Uint64(uint64(v)) }
+
+// Int folds v into the digest.
+func (d *Digest) Int(v int) *Digest { return d.Uint64(uint64(int64(v))) }
+
+// Float64 folds v's IEEE-754 bit pattern into the digest. All NaN payloads
+// collapse to one canonical NaN so semantically equal aggregates hash
+// equally.
+func (d *Digest) Float64(v float64) *Digest {
+	bits := math.Float64bits(v)
+	if v != v { // NaN
+		bits = math.Float64bits(math.NaN())
+	}
+	return d.Uint64(bits)
+}
+
+// Ints folds a length-prefixed int slice into the digest.
+func (d *Digest) Ints(vs []int) *Digest {
+	d.Int(len(vs))
+	for _, v := range vs {
+		d.Int(v)
+	}
+	return d
+}
+
+// Floats folds a length-prefixed float slice into the digest.
+func (d *Digest) Floats(vs []float64) *Digest {
+	d.Int(len(vs))
+	for _, v := range vs {
+		d.Float64(v)
+	}
+	return d
+}
+
+// String folds a length-prefixed string into the digest.
+func (d *Digest) String(s string) *Digest {
+	d.Int(len(s))
+	for i := 0; i < len(s); i++ {
+		d.byte(s[i])
+	}
+	return d
+}
+
+// Sum64 returns the current hash value.
+func (d *Digest) Sum64() uint64 { return d.h }

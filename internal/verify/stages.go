@@ -1,0 +1,119 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stages records per-pipeline-stage wall time and invocation counts, in the
+// same spirit as the Prober's probesSent/measurements overhead counters: a
+// cheap, always-available account of where a run spent its effort
+// (landmark selection, feature probing, embedding, clustering, simulation).
+// It is safe for concurrent use. The zero value is ready to use.
+//
+// Timings are diagnostics only — they are never folded into determinism
+// checksums.
+type Stages struct {
+	mu     sync.Mutex
+	stages map[string]*stageEntry
+}
+
+type stageEntry struct {
+	count int64
+	nanos int64
+	items int64
+}
+
+// StageStat is a snapshot of one stage's counters.
+type StageStat struct {
+	// Name identifies the stage (e.g. "probe-features", "cluster").
+	Name string
+	// Count is the number of completed invocations.
+	Count int64
+	// Duration is the total wall time across invocations.
+	Duration time.Duration
+	// Items is a stage-defined work counter (caches probed, points
+	// clustered, events simulated).
+	Items int64
+}
+
+func (s *Stages) entry(name string) *stageEntry {
+	if s.stages == nil {
+		s.stages = make(map[string]*stageEntry)
+	}
+	e := s.stages[name]
+	if e == nil {
+		e = &stageEntry{}
+		s.stages[name] = e
+	}
+	return e
+}
+
+// Observe records one completed invocation of the named stage.
+func (s *Stages) Observe(name string, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entry(name)
+	e.count++
+	e.nanos += int64(d)
+}
+
+// Add increments the named stage's work-item counter without recording an
+// invocation.
+func (s *Stages) Add(name string, items int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entry(name).items += items
+}
+
+// Start begins timing one invocation of the named stage and returns the
+// function that completes it.
+func (s *Stages) Start(name string) func() {
+	begin := time.Now()
+	return func() { s.Observe(name, time.Since(begin)) }
+}
+
+// Snapshot returns the current per-stage counters, sorted by stage name.
+func (s *Stages) Snapshot() []StageStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StageStat, 0, len(s.stages))
+	for name, e := range s.stages {
+		out = append(out, StageStat{
+			Name:     name,
+			Count:    e.count,
+			Duration: time.Duration(e.nanos),
+			Items:    e.items,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Reset zeroes all counters.
+func (s *Stages) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stages = nil
+}
+
+// String implements fmt.Stringer with one "name: count×, duration, items"
+// segment per stage.
+func (s *Stages) String() string {
+	snap := s.Snapshot()
+	if len(snap) == 0 {
+		return "no stages recorded"
+	}
+	parts := make([]string, 0, len(snap))
+	for _, st := range snap {
+		p := fmt.Sprintf("%s: %dx %v", st.Name, st.Count, st.Duration.Round(time.Microsecond))
+		if st.Items > 0 {
+			p += fmt.Sprintf(" (%d items)", st.Items)
+		}
+		parts = append(parts, p)
+	}
+	return strings.Join(parts, "; ")
+}

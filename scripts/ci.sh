@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# CI entry point: build, vet, and test (race detector on) the whole module.
+# Usage: scripts/ci.sh [extra go test args]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race "$@" ./...
+
+echo "ci: OK"
