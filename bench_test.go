@@ -188,6 +188,32 @@ func BenchmarkKMeans500x25(b *testing.B) {
 	}
 }
 
+// benchKMeansParallel runs the 500×25 K-means at a fixed worker-pool bound.
+// Compare Par1 vs Par8 for the parallel-pipeline speedup (results are
+// bit-identical across the pair; only wall-clock changes).
+func benchKMeansParallel(b *testing.B, workers int) {
+	src := simrand.New(4)
+	points := make([]cluster.Vector, 500)
+	for i := range points {
+		points[i] = make(cluster.Vector, 25)
+		for j := range points[i] {
+			points[i][j] = src.Uniform(0, 300)
+		}
+	}
+	opts := cluster.DefaultOptions()
+	opts.Parallelism = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.KMeans(points, 50, cluster.UniformSeeder{}, opts, src.SplitN("km", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeansPar1(b *testing.B) { benchKMeansParallel(b, 1) }
+func BenchmarkKMeansPar8(b *testing.B) { benchKMeansParallel(b, 8) }
+
 func BenchmarkGNPEmbedHost(b *testing.B) {
 	src := simrand.New(5)
 	landmarks := make([][]float64, 25)
@@ -205,6 +231,36 @@ func BenchmarkGNPEmbedHost(b *testing.B) {
 		}
 	}
 }
+
+// benchGNPEmbedHosts runs the phase-2 batch embedding of 200 hosts against
+// 25 landmarks at a fixed worker-pool bound. The per-host RNG streams make
+// the result worker-count-invariant.
+func benchGNPEmbedHosts(b *testing.B, workers int) {
+	src := simrand.New(5)
+	landmarks := make([][]float64, 25)
+	for i := range landmarks {
+		landmarks[i] = []float64{src.Uniform(0, 300), src.Uniform(0, 300), src.Uniform(0, 300), src.Uniform(0, 300), src.Uniform(0, 300)}
+	}
+	toLm := make([][]float64, 200)
+	for h := range toLm {
+		toLm[h] = make([]float64, 25)
+		for i := range toLm[h] {
+			toLm[h][i] = src.Uniform(10, 300)
+		}
+	}
+	cfg := gnp.DefaultConfig()
+	cfg.Parallelism = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gnp.EmbedHosts(landmarks, toLm, cfg, src.SplitN("batch", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGNPEmbedHosts1(b *testing.B) { benchGNPEmbedHosts(b, 1) }
+func BenchmarkGNPEmbedHosts8(b *testing.B) { benchGNPEmbedHosts(b, 8) }
 
 func BenchmarkGreedyLandmarkSelection(b *testing.B) {
 	g := benchTopology(b)
@@ -271,6 +327,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	for i := 0; i < n; i++ {
 		groups[i%20] = append(groups[i%20], topology.CacheIndex(i))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim, err := netsim.New(nw, groups, catalog, netsim.DefaultConfig())

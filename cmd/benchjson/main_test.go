@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: edgecachegroups
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkKMeansPar1-8     	     100	   6513225 ns/op	  123568 B/op	      91 allocs/op
+BenchmarkKMeansPar1-8     	     100	   6313225 ns/op	  123568 B/op	      91 allocs/op
+BenchmarkKMeansPar8-8     	     100	   3206612 ns/op	  140848 B/op	     474 allocs/op
+BenchmarkSimulatorThroughput-8	      10	  52000000 ns/op	  900000 B/op	    1200 allocs/op	     24000 requests/op
+PASS
+ok  	edgecachegroups	0.085s
+`
+
+func TestParseAveragesRepeatedRuns(t *testing.T) {
+	benches, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("got %d benches, want 3", len(benches))
+	}
+	km := benches[0]
+	if km.Name != "BenchmarkKMeansPar1" {
+		t.Fatalf("first bench %q, want BenchmarkKMeansPar1", km.Name)
+	}
+	if km.Runs != 2 || km.Iterations != 200 {
+		t.Fatalf("runs/iterations = %d/%d, want 2/200", km.Runs, km.Iterations)
+	}
+	if want := (6513225.0 + 6313225.0) / 2; math.Abs(km.NsPerOp-want) > 1e-6 {
+		t.Fatalf("ns/op = %v, want mean %v", km.NsPerOp, want)
+	}
+	if km.AllocsPerOp != 91 {
+		t.Fatalf("allocs/op = %v, want 91", km.AllocsPerOp)
+	}
+	sim := benches[2]
+	if sim.Extra["requests/op"] != 24000 {
+		t.Fatalf("custom metric lost: %+v", sim.Extra)
+	}
+}
+
+func TestSpeedupPairsSerialAndParallel(t *testing.T) {
+	benches, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := speedups(benches)
+	if len(sp) != 1 {
+		t.Fatalf("got %d speedups, want 1: %+v", len(sp), sp)
+	}
+	if sp[0].Serial != "BenchmarkKMeansPar1" || sp[0].Parallel != "BenchmarkKMeansPar8" {
+		t.Fatalf("wrong pair: %+v", sp[0])
+	}
+	if want := 6413225.0 / 3206612.0; math.Abs(sp[0].Factor-want) > 1e-9 {
+		t.Fatalf("factor = %v, want %v", sp[0].Factor, want)
+	}
+}
+
+func TestRunEmitsValidBaseline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(strings.NewReader(sample), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(buf.Bytes(), &base); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if base.NumCPU < 1 || base.GoVersion == "" {
+		t.Fatalf("missing host info: %+v", base)
+	}
+	if len(base.Benchmarks) != 3 || len(base.Speedups) != 1 {
+		t.Fatalf("unexpected content: %d benches, %d speedups", len(base.Benchmarks), len(base.Speedups))
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(strings.NewReader("no benchmarks here\n"), &buf); err == nil {
+		t.Fatal("want error for input without benchmark lines")
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":      "BenchmarkFoo",
+		"BenchmarkFoo":        "BenchmarkFoo",
+		"BenchmarkFoo-bar":    "BenchmarkFoo-bar",
+		"BenchmarkKMeansPar1": "BenchmarkKMeansPar1",
+	} {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

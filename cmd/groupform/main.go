@@ -70,6 +70,7 @@ func run(args []string, w io.Writer) error {
 		asJSON   = fs.Bool("json", false, "emit JSON instead of text")
 		suggestK = fs.Bool("suggest-k", false, "also report the elbow-suggested number of groups")
 		verified = fs.Bool("verify", true, "audit the plan against the invariant-checking layer")
+		parallel = fs.Int("parallelism", 0, "worker-pool bound for probing, clustering, and embedding (0 = per-layer defaults; results are identical for any value)")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -99,6 +100,10 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("unknown landmark selector %q", *selector)
 	}
 	cfg.Verify = *verified
+	if *parallel < 0 {
+		return fmt.Errorf("parallelism must be >= 0, got %d", *parallel)
+	}
+	cfg = ecg.WithParallelism(cfg, *parallel)
 
 	src := ecg.NewRand(*seed)
 	graph, err := ecg.GenerateTransitStub(ecg.DefaultTransitStubParams(), src.Split("topo"))

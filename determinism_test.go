@@ -68,6 +68,41 @@ func TestPlanChecksumProbeParallelismInvariant(t *testing.T) {
 	}
 }
 
+func TestPlanChecksumClusterParallelismInvariant(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		cfg := ecg.SDSL(8, 2, 1.0)
+		cfg.Cluster.Parallelism = 1
+		plan1, _ := formPlan(t, 91, cfg, 5)
+		cfg.Cluster.Parallelism = par
+		plan2, _ := formPlan(t, 91, cfg, 5)
+		if c1, c2 := plan1.Checksum(), plan2.Checksum(); c1 != c2 {
+			t.Fatalf("Cluster.Parallelism %d changed the checksum: %016x vs %016x", par, c1, c2)
+		}
+	}
+}
+
+func TestPlanChecksumGNPParallelismInvariant(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		cfg := ecg.EuclideanScheme(8, 2, 5)
+		cfg.GNP.Parallelism = 1
+		plan1, _ := formPlan(t, 91, cfg, 5)
+		cfg.GNP.Parallelism = par
+		plan2, _ := formPlan(t, 91, cfg, 5)
+		if c1, c2 := plan1.Checksum(), plan2.Checksum(); c1 != c2 {
+			t.Fatalf("GNP.Parallelism %d changed the checksum: %016x vs %016x", par, c1, c2)
+		}
+	}
+}
+
+func TestPlanChecksumPipelineParallelismInvariant(t *testing.T) {
+	cfg := ecg.SDSL(8, 2, 1.0)
+	plan1, _ := formPlan(t, 91, ecg.WithParallelism(cfg, 1), 5)
+	plan2, _ := formPlan(t, 91, ecg.WithParallelism(cfg, 8), 5)
+	if c1, c2 := plan1.Checksum(), plan2.Checksum(); c1 != c2 {
+		t.Fatalf("WithParallelism(8) changed the checksum: %016x vs %016x", c1, c2)
+	}
+}
+
 func TestReportChecksumGolden(t *testing.T) {
 	runSim := func(t *testing.T, seed int64) *ecg.Report {
 		t.Helper()

@@ -176,6 +176,18 @@ func SDSL(l, m int, theta float64) SchemeConfig { return core.SDSL(l, m, theta) 
 // the given embedding dimension.
 func EuclideanScheme(l, m, dim int) SchemeConfig { return core.EuclideanScheme(l, m, dim) }
 
+// WithParallelism sets every worker-pool bound of the formation pipeline
+// (feature probing, clustering, embedding) to workers and returns the
+// updated config. Formation results are identical for every setting — the
+// knob trades goroutines for wall-clock time only. workers == 0 restores
+// the per-layer defaults.
+func WithParallelism(cfg SchemeConfig, workers int) SchemeConfig {
+	cfg.ProbeParallelism = workers
+	cfg.Cluster.Parallelism = workers
+	cfg.GNP.Parallelism = workers
+	return cfg
+}
+
 // NewCoordinator builds a GF-Coordinator for the given scheme.
 func NewCoordinator(nw *Network, prober *Prober, cfg SchemeConfig, src *Rand) (*Coordinator, error) {
 	return core.NewCoordinator(nw, prober, cfg, src)

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 
+	"edgecachegroups/internal/par"
 	"edgecachegroups/internal/simrand"
 )
 
@@ -15,6 +16,12 @@ type Options struct {
 	// terminates when reassignments "become minimal"; the default is 0
 	// (strict convergence).
 	ReassignFrac float64
+	// Parallelism bounds the worker pool for the assignment and
+	// center-recomputation phases; 0 or 1 means serial. Results are
+	// bit-identical across all settings: work is split into fixed index
+	// chunks whose partial sums are reduced in chunk order, so the floating
+	// point reduction tree never depends on the worker count.
+	Parallelism int
 }
 
 // DefaultOptions returns the options used in the experiments.
@@ -37,6 +44,9 @@ func (o Options) Validate() error {
 	if o.ReassignFrac < 0 || o.ReassignFrac >= 1 {
 		return fmt.Errorf("cluster: ReassignFrac must be in [0,1), got %v", o.ReassignFrac)
 	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("cluster: Parallelism must be >= 0, got %d", o.Parallelism)
+	}
 	return nil
 }
 
@@ -56,13 +66,40 @@ type Result struct {
 // K returns the number of clusters.
 func (r *Result) K() int { return len(r.Centers) }
 
-// Members returns the point indices of cluster c.
+// Members returns the point indices of cluster c. Callers that need every
+// cluster's members should use MembersAll, which builds the full inverse
+// mapping in one pass instead of one scan per cluster.
 func (r *Result) Members(c int) []int {
 	var out []int
 	for i, a := range r.Assignments {
 		if a == c {
 			out = append(out, i)
 		}
+	}
+	return out
+}
+
+// MembersAll returns the members of every cluster, indexed by cluster ID,
+// in a single pass over the assignments (O(n+k), versus O(n·k) for calling
+// Members in a loop). Empty clusters yield nil slices.
+func (r *Result) MembersAll() [][]int {
+	return membersAll(r.Assignments, len(r.Centers))
+}
+
+// membersAll builds the cluster -> member-indices inverse of assign.
+func membersAll(assign []int, k int) [][]int {
+	sizes := make([]int, k)
+	for _, a := range assign {
+		sizes[a]++
+	}
+	out := make([][]int, k)
+	for c, s := range sizes {
+		if s > 0 {
+			out[c] = make([]int, 0, s)
+		}
+	}
+	for i, a := range assign {
+		out[a] = append(out[a], i)
 	}
 	return out
 }
@@ -86,11 +123,49 @@ func (r *Result) WithinClusterSS(points []Vector) float64 {
 	return sum
 }
 
+// pointChunk is the fixed number of points per work chunk. It is a
+// constant — never derived from the worker count — so the chunk-order
+// reduction in recomputeCenters produces bit-identical centers for every
+// Options.Parallelism setting.
+const pointChunk = 64
+
+// kmScratch holds the per-iteration working buffers of one KMeans call.
+// Allocating them once (instead of per round) keeps the iterative phase
+// allocation-free regardless of how many rounds run.
+type kmScratch struct {
+	k, dim      int
+	chunkSums   [][]float64 // per chunk: flattened k×dim partial sums
+	chunkCounts [][]int     // per chunk: per-cluster member counts
+	moved       []int       // per chunk: reassignments in the last round
+	sums        []float64   // flattened k×dim chunk-order reduction target
+	counts      []int       // per-cluster totals (also reused by repair)
+}
+
+func newKMScratch(n, k, dim int) *kmScratch {
+	nc := par.Chunks(n, pointChunk)
+	sc := &kmScratch{
+		k:           k,
+		dim:         dim,
+		chunkSums:   make([][]float64, nc),
+		chunkCounts: make([][]int, nc),
+		moved:       make([]int, nc),
+		sums:        make([]float64, k*dim),
+		counts:      make([]int, k),
+	}
+	for c := range sc.chunkSums {
+		sc.chunkSums[c] = make([]float64, k*dim)
+		sc.chunkCounts[c] = make([]int, k)
+	}
+	return sc
+}
+
 // KMeans partitions points into k clusters. The seeder picks the initial
 // centers; src drives all randomness. The algorithm follows the paper's
 // three phases: initialization (seed + nearest-center assignment),
 // iteration (recompute means, reassign), and termination (when the number
-// of reassignments becomes minimal).
+// of reassignments becomes minimal). The assignment and center phases run
+// on a worker pool bounded by opts.Parallelism; the result is invariant to
+// the worker count.
 func KMeans(points []Vector, k int, seeder Seeder, opts Options, src *simrand.Source) (*Result, error) {
 	if err := validatePoints(points); err != nil {
 		return nil, err
@@ -131,23 +206,28 @@ func KMeans(points []Vector, k int, seeder Seeder, opts Options, src *simrand.So
 		centers[c] = points[idx].Clone()
 	}
 
-	assign := make([]int, n)
-	for i := range assign {
-		assign[i] = nearestCenter(points[i], centers)
+	// Parallelism 0 means serial here (not the pool default): clustering is
+	// frequently invoked from already-parallel sweep points, so spinning up
+	// goroutines must be an explicit opt-in.
+	workers := opts.Parallelism
+	if workers == 0 {
+		workers = 1
 	}
+	sc := newKMScratch(n, k, len(points[0]))
+
+	assign := make([]int, n)
+	par.ForEachChunk(n, pointChunk, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			assign[i] = nearestCenter(points[i], centers)
+		}
+	})
 
 	// Iterative phase.
 	res := &Result{Assignments: assign, Centers: centers}
 	for iter := 0; iter < opts.MaxIterations; iter++ {
-		recomputeCenters(points, res.Assignments, res.Centers)
-		repairEmptyClusters(points, res.Assignments, res.Centers)
-		moved := 0
-		for i := range points {
-			if c := nearestCenter(points[i], res.Centers); c != res.Assignments[i] {
-				res.Assignments[i] = c
-				moved++
-			}
-		}
+		recomputeCenters(points, res.Assignments, res.Centers, sc, workers)
+		repairEmptyClusters(points, res.Assignments, res.Centers, sc.counts)
+		moved := reassignAll(points, res.Assignments, res.Centers, sc, workers)
 		res.Iterations = iter + 1
 		// The termination threshold is a true fraction: int truncation would
 		// turn e.g. ReassignFrac=0.01 at n=50 into strict convergence.
@@ -160,11 +240,49 @@ func KMeans(points []Vector, k int, seeder Seeder, opts Options, src *simrand.So
 	// between clusters, which stales the donor's (and recipient's) mean, so
 	// iterate repair→recompute until no repair fires: Result.Centers must be
 	// exactly the means of Result.Assignments.
-	recomputeCenters(points, res.Assignments, res.Centers)
-	for repairEmptyClusters(points, res.Assignments, res.Centers) {
-		recomputeCenters(points, res.Assignments, res.Centers)
+	recomputeCenters(points, res.Assignments, res.Centers, sc, workers)
+	for repairEmptyClusters(points, res.Assignments, res.Centers, sc.counts) {
+		recomputeCenters(points, res.Assignments, res.Centers, sc, workers)
 	}
 	return res, nil
+}
+
+// reassignAll moves every point to its nearest center and returns the
+// number of reassignments. Each point's decision is independent, so the
+// chunked parallel sweep is trivially worker-count-invariant. The serial
+// path calls the chunk body directly — no closure — so the per-round hot
+// path stays allocation-free.
+func reassignAll(points []Vector, assign []int, centers []Vector, sc *kmScratch, workers int) int {
+	n := len(points)
+	if workers <= 1 {
+		nc := par.Chunks(n, pointChunk)
+		for c := 0; c < nc; c++ {
+			lo, hi := par.ChunkBounds(n, pointChunk, c)
+			reassignChunk(points, assign, centers, sc, c, lo, hi)
+		}
+	} else {
+		par.ForEachChunk(n, pointChunk, workers, func(chunk, lo, hi int) {
+			reassignChunk(points, assign, centers, sc, chunk, lo, hi)
+		})
+	}
+	total := 0
+	for _, m := range sc.moved {
+		total += m
+	}
+	return total
+}
+
+// reassignChunk reassigns the points of one chunk and records the chunk's
+// move count in sc.moved.
+func reassignChunk(points []Vector, assign []int, centers []Vector, sc *kmScratch, chunk, lo, hi int) {
+	moved := 0
+	for i := lo; i < hi; i++ {
+		if c := nearestCenter(points[i], centers); c != assign[i] {
+			assign[i] = c
+			moved++
+		}
+	}
+	sc.moved[chunk] = moved
 }
 
 // nearestCenter returns the index of the center closest to p (ties go to
@@ -182,26 +300,64 @@ func nearestCenter(p Vector, centers []Vector) int {
 
 // recomputeCenters sets each center to the mean of its members. Centers of
 // empty clusters are left untouched (repairEmptyClusters handles them).
-func recomputeCenters(points []Vector, assign []int, centers []Vector) {
-	dim := len(points[0])
-	k := len(centers)
-	sums := make([][]float64, k)
-	counts := make([]int, k)
-	for c := range sums {
-		sums[c] = make([]float64, dim)
+// Per-chunk partial sums are accumulated in parallel and reduced in chunk
+// order, so the result is bit-identical for every worker count.
+func recomputeCenters(points []Vector, assign []int, centers []Vector, sc *kmScratch, workers int) {
+	n := len(points)
+	dim := sc.dim
+	if workers <= 1 {
+		nc := par.Chunks(n, pointChunk)
+		for c := 0; c < nc; c++ {
+			lo, hi := par.ChunkBounds(n, pointChunk, c)
+			accumCenterChunk(points, assign, sc, c, lo, hi)
+		}
+	} else {
+		par.ForEachChunk(n, pointChunk, workers, func(chunk, lo, hi int) {
+			accumCenterChunk(points, assign, sc, chunk, lo, hi)
+		})
 	}
-	for i, a := range assign {
-		counts[a]++
-		for j, x := range points[i] {
-			sums[a][j] += x
+	sums, counts := sc.sums, sc.counts
+	for i := range sums {
+		sums[i] = 0
+	}
+	for i := range counts {
+		counts[i] = 0
+	}
+	for c := range sc.chunkSums {
+		for i, v := range sc.chunkSums[c] {
+			sums[i] += v
+		}
+		for i, v := range sc.chunkCounts[c] {
+			counts[i] += v
 		}
 	}
-	for c := 0; c < k; c++ {
+	for c := 0; c < sc.k; c++ {
 		if counts[c] == 0 {
 			continue
 		}
 		for j := 0; j < dim; j++ {
-			centers[c][j] = sums[c][j] / float64(counts[c])
+			centers[c][j] = sums[c*dim+j] / float64(counts[c])
+		}
+	}
+}
+
+// accumCenterChunk zeroes and fills one chunk's partial sums and counts.
+func accumCenterChunk(points []Vector, assign []int, sc *kmScratch, chunk, lo, hi int) {
+	dim := sc.dim
+	sums := sc.chunkSums[chunk]
+	counts := sc.chunkCounts[chunk]
+	for i := range sums {
+		sums[i] = 0
+	}
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := lo; i < hi; i++ {
+		a := assign[i]
+		counts[a]++
+		row := sums[a*dim : (a+1)*dim]
+		for j, x := range points[i] {
+			row[j] += x
 		}
 	}
 }
@@ -211,10 +367,13 @@ func recomputeCenters(points []Vector, assign []int, centers []Vector) {
 // than one member. This keeps all K groups non-degenerate, which the group
 // formation problem requires (K disjoint non-empty groups). It reports
 // whether any assignment changed, so callers can recompute the affected
-// means.
-func repairEmptyClusters(points []Vector, assign []int, centers []Vector) bool {
+// means. counts is a caller-provided scratch buffer of length k,
+// overwritten on every call.
+func repairEmptyClusters(points []Vector, assign []int, centers []Vector, counts []int) bool {
 	k := len(centers)
-	counts := make([]int, k)
+	for c := range counts {
+		counts[c] = 0
+	}
 	for _, a := range assign {
 		counts[a]++
 	}

@@ -476,3 +476,87 @@ func TestKMeansReassignFracBoundary(t *testing.T) {
 		t.Fatalf("converged=%v after %d iterations, want convergence in exactly 1 (fraction threshold truncated)", res.Converged, res.Iterations)
 	}
 }
+
+func TestKMeansParallelismInvariant(t *testing.T) {
+	src := simrand.New(31)
+	points := threeBlobs(70, src) // 210 points spans multiple 64-point chunks
+	var base *Result
+	for _, par := range []int{1, 3, 8} {
+		opts := Options{MaxIterations: 50, Parallelism: par}
+		res, err := KMeans(points, 5, UniformSeeder{}, opts, simrand.New(31).Split("seed"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		for i, a := range res.Assignments {
+			if a != base.Assignments[i] {
+				t.Fatalf("Parallelism=%d: assignment %d = %d, want %d", par, i, a, base.Assignments[i])
+			}
+		}
+		for c := range res.Centers {
+			for j, x := range res.Centers[c] {
+				if x != base.Centers[c][j] {
+					t.Fatalf("Parallelism=%d: center %d coord %d = %v, want %v (bit-identical)", par, c, j, x, base.Centers[c][j])
+				}
+			}
+		}
+		if res.Iterations != base.Iterations || res.Converged != base.Converged {
+			t.Fatalf("Parallelism=%d: iterations/converged %d/%v, want %d/%v", par, res.Iterations, res.Converged, base.Iterations, base.Converged)
+		}
+	}
+}
+
+func TestKMeansIterationPhaseAllocationFree(t *testing.T) {
+	// The per-iteration scratch lives in one buffer struct allocated up
+	// front, so running many more iterations must not allocate more than
+	// running few: the iterative phase itself is allocation-free.
+	src := simrand.New(17)
+	points := threeBlobs(50, src)
+	run := func(iters int) (float64, int) {
+		rounds := 0
+		allocs := testing.AllocsPerRun(10, func() {
+			opts := Options{MaxIterations: iters}
+			res, err := KMeans(points, 6, UniformSeeder{}, opts, simrand.New(5).Split("s"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rounds = res.Iterations
+		})
+		return allocs, rounds
+	}
+	few, fewRounds := run(1)
+	many, manyRounds := run(64)
+	if manyRounds <= fewRounds {
+		t.Fatalf("test needs the long run to iterate more (%d vs %d rounds)", manyRounds, fewRounds)
+	}
+	if many > few {
+		t.Fatalf("allocations grew with iteration count: %v at %d rounds vs %v at %d", few, fewRounds, many, manyRounds)
+	}
+}
+
+func TestMembersAllMatchesMembers(t *testing.T) {
+	src := simrand.New(9)
+	points := threeBlobs(20, src)
+	res, err := KMeans(points, 4, UniformSeeder{}, Options{MaxIterations: 20}, src.Split("km"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := res.MembersAll()
+	if len(all) != res.K() {
+		t.Fatalf("MembersAll returned %d clusters, want %d", len(all), res.K())
+	}
+	for c := 0; c < res.K(); c++ {
+		want := res.Members(c)
+		if len(all[c]) != len(want) {
+			t.Fatalf("cluster %d: MembersAll has %d members, Members has %d", c, len(all[c]), len(want))
+		}
+		for i := range want {
+			if all[c][i] != want[i] {
+				t.Fatalf("cluster %d member %d: MembersAll %d, Members %d", c, i, all[c][i], want[i])
+			}
+		}
+	}
+}

@@ -85,10 +85,12 @@ func KMedoids(points []Vector, k int, seeder Seeder, opts Options, src *simrand.
 	res := &Result{Assignments: assign}
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		// Update step: each medoid becomes the member minimizing the total
-		// distance to its cluster.
+		// distance to its cluster. One membersAll pass builds every cluster's
+		// member list at once (O(n+k) instead of O(n·k) scans).
+		allMembers := membersAll(assign, k)
 		changed := false
 		for c := 0; c < k; c++ {
-			members := membersOf(assign, c)
+			members := allMembers[c]
 			if len(members) == 0 {
 				continue
 			}
@@ -122,18 +124,8 @@ func KMedoids(points []Vector, k int, seeder Seeder, opts Options, src *simrand.
 		res.Centers[c] = points[m].Clone()
 	}
 	// Guarantee non-empty clusters the same way KMeans does.
-	repairEmptyClusters(points, res.Assignments, res.Centers)
+	repairEmptyClusters(points, res.Assignments, res.Centers, make([]int, k))
 	return res, nil
-}
-
-func membersOf(assign []int, c int) []int {
-	var out []int
-	for i, a := range assign {
-		if a == c {
-			out = append(out, i)
-		}
-	}
-	return out
 }
 
 // clusterCost is the total L2 distance from candidate medoid cand to the

@@ -20,11 +20,11 @@ import (
 	"fmt"
 	"math"
 	"strconv"
-	"sync"
 
 	"edgecachegroups/internal/cluster"
 	"edgecachegroups/internal/gnp"
 	"edgecachegroups/internal/landmark"
+	"edgecachegroups/internal/par"
 	"edgecachegroups/internal/probe"
 	"edgecachegroups/internal/simrand"
 	"edgecachegroups/internal/topology"
@@ -272,7 +272,7 @@ func (gf *Coordinator) FormGroups(k int) (*Plan, error) {
 	}
 
 	// Step 1: choose the landmark set.
-	stopSelect := gf.stages.Start("landmark-select")
+	stopSelect := gf.stages.StartMem("landmark-select")
 	lms, err := gf.cfg.Selector.Select(gf.prober, n, gf.cfg.Landmarks, gf.src.Split("landmarks"))
 	stopSelect()
 	if err != nil {
@@ -281,24 +281,27 @@ func (gf *Coordinator) FormGroups(k int) (*Plan, error) {
 	gf.stages.Add("landmark-select", int64(len(lms)))
 
 	// Step 2: every cache probes the landmarks to build its feature vector.
-	stopProbe := gf.stages.Start("probe-features")
+	stopProbe := gf.stages.StartMem("probe-features")
 	features, serverDist, err := gf.measureFeatures(lms)
 	stopProbe()
 	if err != nil {
 		return nil, fmt.Errorf("measure feature vectors: %w", err)
 	}
 	gf.stages.Add("probe-features", int64(n))
+	gf.stages.SetParallelism("probe-features", gf.cfg.ProbeParallelism)
 
 	// Optional representation change: GNP or Vivaldi coordinates.
 	points := features
 	var lmCoords [][]float64
 	if gf.cfg.Representation == Euclidean || gf.cfg.Representation == Vivaldi {
-		stopEmbed := gf.stages.Start("embed")
+		stopEmbed := gf.stages.StartMem("embed")
 		switch gf.cfg.Representation {
 		case Euclidean:
 			points, lmCoords, err = gf.embed(lms, features)
+			gf.stages.SetParallelism("embed", gf.gnpConfig().Parallelism)
 		case Vivaldi:
 			points, lmCoords, err = gf.embedVivaldi(lms, features)
+			gf.stages.SetParallelism("embed", gf.cfg.ProbeParallelism)
 		}
 		stopEmbed()
 		if err != nil {
@@ -320,13 +323,14 @@ func (gf *Coordinator) FormGroups(k int) (*Plan, error) {
 	if algo == AlgoKMedoids {
 		clusterFn = cluster.KMedoids
 	}
-	stopCluster := gf.stages.Start("cluster")
+	stopCluster := gf.stages.StartMem("cluster")
 	res, err := clusterFn(points, k, seeder, gf.cfg.Cluster, gf.src.Split("kmeans"))
 	stopCluster()
 	if err != nil {
 		return nil, fmt.Errorf("cluster caches: %w", err)
 	}
 	gf.stages.Add("cluster", int64(len(points)))
+	gf.stages.SetParallelism("cluster", gf.cfg.Cluster.Parallelism)
 
 	plan := &Plan{
 		Scheme:         gf.cfg.Name(),
@@ -370,38 +374,18 @@ func (gf *Coordinator) measureFeatures(lms []probe.Endpoint) ([]cluster.Vector, 
 		}
 	}
 
-	workers := gf.cfg.ProbeParallelism
-	if workers <= 0 {
-		workers = 8
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				self := probe.Cache(topology.CacheIndex(i))
-				vals, err := gf.prober.MeasureTo(self, lms)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				features[i] = cluster.Vector(vals)
-				if originIdx >= 0 {
-					serverDist[i] = vals[originIdx]
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
+	par.ForEach(n, gf.cfg.ProbeParallelism, func(i int) {
+		self := probe.Cache(topology.CacheIndex(i))
+		vals, err := gf.prober.MeasureTo(self, lms)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		features[i] = cluster.Vector(vals)
+		if originIdx >= 0 {
+			serverDist[i] = vals[originIdx]
+		}
+	})
 
 	for i, err := range errs {
 		if err != nil {
@@ -422,50 +406,38 @@ func (gf *Coordinator) measureFeatures(lms []probe.Endpoint) ([]cluster.Vector, 
 	return features, serverDist, nil
 }
 
+// gnpConfig returns the GNP config with the embedding parallelism defaulted
+// to the probing fan-out when the caller left it unset.
+func (gf *Coordinator) gnpConfig() gnp.Config {
+	cfg := gf.cfg.GNP
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = gf.cfg.ProbeParallelism
+	}
+	return cfg
+}
+
 // embed converts landmark feature measurements into GNP coordinates.
 func (gf *Coordinator) embed(lms []probe.Endpoint, features []cluster.Vector) ([]cluster.Vector, [][]float64, error) {
+	cfg := gf.gnpConfig()
 	lmMatrix, err := gf.prober.MeasureMatrix(lms)
 	if err != nil {
 		return nil, nil, fmt.Errorf("probe landmark matrix: %w", err)
 	}
-	lmCoords, err := gnp.EmbedLandmarks(lmMatrix, gf.cfg.GNP, gf.src.Split("gnp/landmarks"))
+	lmCoords, err := gnp.EmbedLandmarks(lmMatrix, cfg, gf.src.Split("gnp/landmarks"))
 	if err != nil {
 		return nil, nil, fmt.Errorf("embed landmarks: %w", err)
 	}
-	points := make([]cluster.Vector, len(features))
-	errs := make([]error, len(features))
-	workers := gf.cfg.ProbeParallelism
-	if workers <= 0 {
-		workers = 8
+	toLandmarks := make([][]float64, len(features))
+	for i, f := range features {
+		toLandmarks[i] = f
 	}
-	if workers > len(features) {
-		workers = len(features)
+	coords, err := gnp.EmbedHosts(lmCoords, toLandmarks, cfg, gf.src.Split("gnp/hosts"))
+	if err != nil {
+		return nil, nil, err
 	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				coords, err := gnp.EmbedHost(lmCoords, features[i], gf.cfg.GNP, gf.src.SplitN("gnp/host", i))
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				points[i] = cluster.Vector(coords)
-			}
-		}()
-	}
-	for i := range features {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, nil, fmt.Errorf("embed cache %d: %w", i, err)
-		}
+	points := make([]cluster.Vector, len(coords))
+	for i, c := range coords {
+		points[i] = cluster.Vector(c)
 	}
 	return points, lmCoords, nil
 }
@@ -484,34 +456,14 @@ func (gf *Coordinator) embedVivaldi(lms []probe.Endpoint, features []cluster.Vec
 	}
 	points := make([]cluster.Vector, len(features))
 	errs := make([]error, len(features))
-	workers := gf.cfg.ProbeParallelism
-	if workers <= 0 {
-		workers = 8
-	}
-	if workers > len(features) {
-		workers = len(features)
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				coords, err := vivaldi.EmbedHost(lmCoords, features[i], gf.cfg.Vivaldi, gf.src.SplitN("vivaldi/host", i))
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				points[i] = cluster.Vector(coords)
-			}
-		}()
-	}
-	for i := range features {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
+	par.ForEach(len(features), gf.cfg.ProbeParallelism, func(i int) {
+		coords, err := vivaldi.EmbedHost(lmCoords, features[i], gf.cfg.Vivaldi, gf.src.SplitN("vivaldi/host", i))
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		points[i] = cluster.Vector(coords)
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, nil, fmt.Errorf("embed cache %d: %w", i, err)

@@ -12,10 +12,10 @@ import (
 	"io"
 	"math"
 	"strings"
-	"sync"
 
 	"edgecachegroups/internal/core"
 	"edgecachegroups/internal/netsim"
+	"edgecachegroups/internal/par"
 	"edgecachegroups/internal/probe"
 	"edgecachegroups/internal/simrand"
 	"edgecachegroups/internal/topology"
@@ -32,6 +32,11 @@ type Options struct {
 	// Parallelism bounds concurrent sweep-point execution; 0 means
 	// a sensible default.
 	Parallelism int
+	// PipelineParallelism bounds the worker pools inside each formation
+	// pipeline (feature probing, embedding, clustering); 0 keeps the
+	// per-layer defaults. Results are invariant to this knob — it only
+	// changes wall-clock time.
+	PipelineParallelism int
 	// Trials averages stochastic experiments over this many seeds; 0 means
 	// the default (1 at full scale).
 	Trials int
@@ -54,6 +59,9 @@ func (o Options) Validate() error {
 	}
 	if o.Parallelism < 0 {
 		return fmt.Errorf("experiments: Parallelism must be >= 0, got %d", o.Parallelism)
+	}
+	if o.PipelineParallelism < 0 {
+		return fmt.Errorf("experiments: PipelineParallelism must be >= 0, got %d", o.PipelineParallelism)
 	}
 	if o.Trials < 0 {
 		return fmt.Errorf("experiments: Trials must be >= 0, got %d", o.Trials)
@@ -92,13 +100,14 @@ const (
 
 // env bundles the shared per-network-size experimental setup.
 type env struct {
-	nw       *topology.Network
-	prober   *probe.Prober
-	catalog  *workload.Catalog
-	requests []workload.Request
-	updates  []workload.Update
-	simCfg   netsim.Config
-	verify   bool
+	nw          *topology.Network
+	prober      *probe.Prober
+	catalog     *workload.Catalog
+	requests    []workload.Request
+	updates     []workload.Update
+	simCfg      netsim.Config
+	verify      bool
+	pipelinePar int
 }
 
 // newEnv builds the simulation environment for a network of numCaches
@@ -120,7 +129,7 @@ func newEnv(numCaches int, o Options, seed int64, withTraces bool) (*env, error)
 	if err != nil {
 		return nil, fmt.Errorf("build prober: %w", err)
 	}
-	e := &env{nw: nw, prober: prober, simCfg: netsim.DefaultConfig(), verify: !o.NoVerify}
+	e := &env{nw: nw, prober: prober, simCfg: netsim.DefaultConfig(), verify: !o.NoVerify, pipelinePar: o.PipelineParallelism}
 	e.simCfg.Verify = e.verify
 	if !withTraces {
 		return e, nil
@@ -159,6 +168,11 @@ func newEnv(numCaches int, o Options, seed int64, withTraces bool) (*env, error)
 // caller opted out.
 func (e *env) formGroups(cfg core.Config, k int, src *simrand.Source) (*core.Plan, error) {
 	cfg.Verify = e.verify
+	if e.pipelinePar > 0 {
+		cfg.ProbeParallelism = e.pipelinePar
+		cfg.Cluster.Parallelism = e.pipelinePar
+		cfg.GNP.Parallelism = e.pipelinePar
+	}
 	gf, err := core.NewCoordinator(e.nw, e.prober, cfg, src)
 	if err != nil {
 		return nil, err
@@ -184,38 +198,14 @@ func (e *env) simulate(cfg core.Config, k int, src *simrand.Source) (*netsim.Rep
 	return rep, plan, nil
 }
 
-// forEach runs fn over [0,n) with bounded parallelism, collecting the
-// first error.
+// forEach runs fn over [0,n) on the shared worker pool, reporting the
+// lowest-index sweep-point error.
 func forEach(n, workers int, fn func(i int) error) error {
 	if workers <= 0 {
 		workers = 4
 	}
-	if workers > n {
-		workers = n
-	}
 	errs := make([]error, n)
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			errs[i] = fn(i)
-		}
-	} else {
-		var wg sync.WaitGroup
-		work := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range work {
-					errs[i] = fn(i)
-				}
-			}()
-		}
-		for i := 0; i < n; i++ {
-			work <- i
-		}
-		close(work)
-		wg.Wait()
-	}
+	par.ForEach(n, workers, func(i int) { errs[i] = fn(i) })
 	for i, err := range errs {
 		if err != nil {
 			return fmt.Errorf("sweep point %d: %w", i, err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"edgecachegroups/internal/par"
 	"edgecachegroups/internal/simrand"
 )
 
@@ -17,6 +18,11 @@ type Config struct {
 	Sweeps int
 	// NM tunes the per-node Nelder–Mead minimizations.
 	NM NMOptions
+	// Parallelism bounds the worker pool used by EmbedHosts for the
+	// phase-2 per-node minimizations; 0 means the pool default. Each host
+	// gets its own split RNG stream, so the embedding is invariant to the
+	// worker count.
+	Parallelism int
 }
 
 // DefaultConfig returns the embedding configuration used by the
@@ -39,6 +45,9 @@ func (c Config) Validate() error {
 	}
 	if c.Sweeps < 0 {
 		return fmt.Errorf("gnp: Sweeps must be >= 0, got %d", c.Sweeps)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("gnp: Parallelism must be >= 0, got %d", c.Parallelism)
 	}
 	return nil
 }
@@ -64,6 +73,44 @@ func dist(a, b []float64) float64 {
 		sum += d * d
 	}
 	return math.Sqrt(sum)
+}
+
+// objective is the shared GNP distance kernel: the squared-relative-error
+// sum of a candidate point against the measured distances to a set of
+// reference coordinates. The epsMS clamp and its division are hoisted out
+// of the simplex loop by precomputing the inverse clamped measurements
+// once per node, so each evaluation is one sqrt and one multiply per
+// reference.
+type objective struct {
+	refs    [][]float64
+	meas    []float64
+	invMeas []float64
+	skip    int // reference index excluded from the sum; -1 for none
+}
+
+// newObjective builds the kernel for one node. refs is aliased, not
+// copied, so phase-1 callers see coordinate updates between minimizations.
+func newObjective(refs [][]float64, meas []float64, skip int) *objective {
+	inv := make([]float64, len(meas))
+	for j, m := range meas {
+		if m < epsMS {
+			m = epsMS
+		}
+		inv[j] = 1 / m
+	}
+	return &objective{refs: refs, meas: meas, invMeas: inv, skip: skip}
+}
+
+func (o *objective) eval(x []float64) float64 {
+	var sum float64
+	for j, c := range o.refs {
+		if j == o.skip {
+			continue
+		}
+		e := (dist(x, c) - o.meas[j]) * o.invMeas[j]
+		sum += e * e
+	}
+	return sum
 }
 
 // EmbedLandmarks computes phase-1 GNP coordinates for the landmark set from
@@ -113,24 +160,21 @@ func EmbedLandmarks(measured [][]float64, cfg Config, src *simrand.Source) ([][]
 		}
 	}
 
+	// One kernel per landmark, built once: the inverse clamped measurements
+	// never change across sweeps, and refs aliases coords so each
+	// minimization sees the latest coordinates of the other landmarks.
+	objs := make([]*objective, n)
+	for i := range objs {
+		objs[i] = newObjective(coords, measured[i], i)
+	}
 	step := maxD / 4
 	for sweep := 0; sweep < cfg.Sweeps; sweep++ {
 		for i := 0; i < n; i++ {
-			obj := func(x []float64) float64 {
-				var sum float64
-				for j := 0; j < n; j++ {
-					if j == i {
-						continue
-					}
-					sum += relErr(dist(x, coords[j]), measured[i][j])
-				}
-				return sum
-			}
 			nm := cfg.NM
 			if nm.InitStep == 0 {
 				nm.InitStep = step
 			}
-			best, _, err := Minimize(obj, coords[i], nm)
+			best, _, err := Minimize(objs[i].eval, coords[i], nm)
 			if err != nil {
 				return nil, fmt.Errorf("refine landmark %d: %w", i, err)
 			}
@@ -174,13 +218,7 @@ func EmbedHost(landmarks [][]float64, toLandmarks []float64, cfg Config, src *si
 		maxD = 1
 	}
 
-	obj := func(x []float64) float64 {
-		var sum float64
-		for j, c := range landmarks {
-			sum += relErr(dist(x, c), toLandmarks[j])
-		}
-		return sum
-	}
+	obj := newObjective(landmarks, toLandmarks, -1)
 
 	// Multi-start: the nearest landmark's coordinates plus one random
 	// start; keep the better minimum.
@@ -201,11 +239,11 @@ func EmbedHost(landmarks [][]float64, toLandmarks []float64, cfg Config, src *si
 	if nm.InitStep == 0 {
 		nm.InitStep = maxD / 4
 	}
-	best1, f1, err := Minimize(obj, start1, nm)
+	best1, f1, err := Minimize(obj.eval, start1, nm)
 	if err != nil {
 		return nil, fmt.Errorf("embed host (start 1): %w", err)
 	}
-	best2, f2, err := Minimize(obj, start2, nm)
+	best2, f2, err := Minimize(obj.eval, start2, nm)
 	if err != nil {
 		return nil, fmt.Errorf("embed host (start 2): %w", err)
 	}
@@ -213,6 +251,40 @@ func EmbedHost(landmarks [][]float64, toLandmarks []float64, cfg Config, src *si
 		return best2, nil
 	}
 	return best1, nil
+}
+
+// EmbedHosts computes phase-2 GNP coordinates for a batch of hosts from
+// their measured RTTs to the already-embedded landmarks. The per-host
+// minimizations are embarrassingly parallel — each host reads only the
+// fixed landmark coordinates — and fan out over a worker pool bounded by
+// cfg.Parallelism. Host i's randomness comes from src.SplitN("host", i),
+// a pure function of (src seed, i), so the embedding is bit-identical for
+// every worker count.
+func EmbedHosts(landmarks [][]float64, toLandmarks [][]float64, cfg Config, src *simrand.Source) ([][]float64, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("gnp: nil random source")
+	}
+	n := len(toLandmarks)
+	coords := make([][]float64, n)
+	errs := make([]error, n)
+	par.ForEach(n, cfg.Parallelism, func(i int) {
+		c, err := EmbedHost(landmarks, toLandmarks[i], cfg, src.SplitN("host", i))
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		coords[i] = c
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("embed host %d: %w", i, err)
+		}
+	}
+	return coords, nil
 }
 
 // EmbeddingError returns the mean squared relative error of an embedding

@@ -213,3 +213,58 @@ func TestRelErrClampsTinyDistances(t *testing.T) {
 		t.Fatalf("relErr(1,0) = %v", v)
 	}
 }
+
+func TestEmbedHostsParallelismInvariant(t *testing.T) {
+	src := simrand.New(7)
+	pts, m := planted(8, 3, src)
+	cfg := Config{Dim: 3, Sweeps: 4}
+	lmCoords, err := EmbedLandmarks(m, cfg, src.Split("lm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hosts at synthetic positions, measured to the landmarks exactly.
+	hostSrc := src.Split("hosts")
+	toLm := make([][]float64, 20)
+	for h := range toLm {
+		host := []float64{hostSrc.Uniform(0, 100), hostSrc.Uniform(0, 100), hostSrc.Uniform(0, 100)}
+		toLm[h] = make([]float64, len(pts))
+		for i := range pts {
+			toLm[h][i] = dist(host, pts[i])
+		}
+	}
+	var base [][]float64
+	for _, par := range []int{1, 3, 8} {
+		cfg.Parallelism = par
+		got, err := EmbedHosts(lmCoords, toLm, cfg, src.Split("batch"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = got
+			continue
+		}
+		for h := range got {
+			for j := range got[h] {
+				if got[h][j] != base[h][j] {
+					t.Fatalf("Parallelism=%d: host %d coord %d = %v, want %v (bit-identical)", par, h, j, got[h][j], base[h][j])
+				}
+			}
+		}
+	}
+}
+
+func TestEmbedHostsValidation(t *testing.T) {
+	lm := [][]float64{{0, 0}, {10, 0}}
+	cfg := Config{Dim: 2}
+	src := simrand.New(1)
+	if _, err := EmbedHosts(lm, [][]float64{{1, 2}}, cfg, nil); err == nil {
+		t.Fatal("want error for nil source")
+	}
+	if _, err := EmbedHosts(lm, [][]float64{{1, 2, 3}}, cfg, src); err == nil {
+		t.Fatal("want error for measurement/landmark count mismatch")
+	}
+	cfg.Parallelism = -1
+	if _, err := EmbedHosts(lm, [][]float64{{1, 2}}, cfg, src); err == nil {
+		t.Fatal("want error for negative Parallelism")
+	}
+}

@@ -72,7 +72,15 @@ func Minimize(f func([]float64) float64, x0 []float64, opts NMOptions) ([]float6
 		values[i] = f(v)
 	}
 
+	// Working vectors are allocated once and reused: the simplex loop runs
+	// hundreds of times per minimization, and per-iteration allocation was
+	// the dominant cost of the phase-2 embedding. Accepted candidates are
+	// copied into the worst vertex instead of swapping slice headers.
 	order := make([]int, dim+1)
+	centroid := make([]float64, dim)
+	refl := make([]float64, dim)
+	exp := make([]float64, dim)
+	contr := make([]float64, dim)
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		for i := range order {
 			order[i] = i
@@ -85,7 +93,9 @@ func Minimize(f func([]float64) float64, x0 []float64, opts NMOptions) ([]float6
 		}
 
 		// Centroid of all but the worst vertex.
-		centroid := make([]float64, dim)
+		for j := range centroid {
+			centroid[j] = 0
+		}
 		for _, idx := range order[:dim] {
 			for j, x := range simplex[idx] {
 				centroid[j] += x
@@ -96,7 +106,6 @@ func Minimize(f func([]float64) float64, x0 []float64, opts NMOptions) ([]float6
 		}
 
 		// Reflection.
-		refl := make([]float64, dim)
 		for j := range refl {
 			refl[j] = centroid[j] + alpha*(centroid[j]-simplex[worst][j])
 		}
@@ -105,25 +114,27 @@ func Minimize(f func([]float64) float64, x0 []float64, opts NMOptions) ([]float6
 		switch {
 		case fRefl < values[best]:
 			// Expansion.
-			exp := make([]float64, dim)
 			for j := range exp {
 				exp[j] = centroid[j] + gamma*(refl[j]-centroid[j])
 			}
 			if fExp := f(exp); fExp < fRefl {
-				simplex[worst], values[worst] = exp, fExp
+				copy(simplex[worst], exp)
+				values[worst] = fExp
 			} else {
-				simplex[worst], values[worst] = refl, fRefl
+				copy(simplex[worst], refl)
+				values[worst] = fRefl
 			}
 		case fRefl < values[secondWorst]:
-			simplex[worst], values[worst] = refl, fRefl
+			copy(simplex[worst], refl)
+			values[worst] = fRefl
 		default:
 			// Contraction.
-			contr := make([]float64, dim)
 			for j := range contr {
 				contr[j] = centroid[j] + rho*(simplex[worst][j]-centroid[j])
 			}
 			if fContr := f(contr); fContr < values[worst] {
-				simplex[worst], values[worst] = contr, fContr
+				copy(simplex[worst], contr)
+				values[worst] = fContr
 			} else {
 				// Shrink toward the best vertex.
 				for _, idx := range order[1:] {

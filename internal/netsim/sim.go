@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -128,11 +127,13 @@ type Simulator struct {
 	numGroups int
 	beacons   [][]topology.CacheIndex // per-group beacon members (beacon mode)
 
-	queue         eventQueue
-	seq           int64
-	ran           bool
-	holderScratch []topology.CacheIndex // reused per-request holder buffer
-	stages        verify.Stages
+	queue             eventQueue
+	seq               int64
+	ran               bool
+	holderScratch     []topology.CacheIndex // reused per-request holder buffer
+	groupHolderCounts []int                 // reused per-update per-group holder tally
+	touchedGroups     []int                 // reused per-update list of groups with holders
+	stages            verify.Stages
 }
 
 // New builds a simulator for the given group partition. groups must cover
@@ -187,6 +188,8 @@ func New(nw *topology.Network, groups [][]topology.CacheIndex, catalog *workload
 		version:   make([]int64, catalog.NumDocuments()),
 		groupOf:   groupOf,
 		numGroups: len(groups),
+
+		groupHolderCounts: make([]int, len(groups)),
 	}
 
 	for i := 0; i < n; i++ {
@@ -203,32 +206,52 @@ func New(nw *topology.Network, groups [][]topology.CacheIndex, catalog *workload
 		s.caches[i] = ec
 	}
 
-	// Precompute live peers and cooperative lookup overheads.
+	// Precompute live peers and cooperative lookup overheads. The O(g²)
+	// pairwise distances of each group feed both the lookup overheads and
+	// the beacon placement, so they are gathered once per group into a
+	// scratch matrix shared by both consumers (previously each recomputed
+	// every pair).
+	if cfg.BeaconsPerGroup > 0 {
+		s.beacons = make([][]topology.CacheIndex, len(groups))
+	}
+	maxGroup := 0
 	for _, members := range groups {
-		for _, c := range members {
+		if len(members) > maxGroup {
+			maxGroup = len(members)
+		}
+	}
+	distBuf := make([]float64, maxGroup*maxGroup)
+	for g, members := range groups {
+		gl := len(members)
+		dm := distBuf[:gl*gl]
+		for a := 0; a < gl; a++ {
+			dm[a*gl+a] = 0
+			for b := a + 1; b < gl; b++ {
+				d := nw.Dist(members[a], members[b])
+				dm[a*gl+b] = d
+				dm[b*gl+a] = d
+			}
+		}
+		for ai, c := range members {
 			if failed[int(c)] {
 				continue
 			}
 			var ps []topology.CacheIndex
 			var sum float64
-			for _, other := range members {
+			for bi, other := range members {
 				if other == c || failed[int(other)] {
 					continue
 				}
 				ps = append(ps, other)
-				sum += nw.Dist(c, other)
+				sum += dm[ai*gl+bi]
 			}
 			s.peers[int(c)] = ps
 			if len(ps) > 0 {
 				s.lookup[int(c)] = cfg.GroupLookupFactor * sum / float64(len(ps))
 			}
 		}
-	}
-
-	if cfg.BeaconsPerGroup > 0 {
-		s.beacons = make([][]topology.CacheIndex, len(groups))
-		for g, members := range groups {
-			s.beacons[g] = chooseBeacons(nw, members, failed, cfg.BeaconsPerGroup)
+		if cfg.BeaconsPerGroup > 0 {
+			s.beacons[g] = chooseBeaconsDist(members, failed, cfg.BeaconsPerGroup, dm)
 		}
 	}
 	return s, nil
@@ -238,19 +261,36 @@ func New(nw *topology.Network, groups [][]topology.CacheIndex, catalog *workload
 // total RTT to the other members) as its beacon points, mirroring Cache
 // Clouds' placement of per-group lookup machinery.
 func chooseBeacons(nw *topology.Network, members []topology.CacheIndex, failed []bool, b int) []topology.CacheIndex {
+	gl := len(members)
+	dm := make([]float64, gl*gl)
+	for a := 0; a < gl; a++ {
+		for bi := a + 1; bi < gl; bi++ {
+			d := nw.Dist(members[a], members[bi])
+			dm[a*gl+bi] = d
+			dm[bi*gl+a] = d
+		}
+	}
+	return chooseBeaconsDist(members, failed, b, dm)
+}
+
+// chooseBeaconsDist is chooseBeacons over a precomputed row-major pairwise
+// distance matrix dm (len(members)² entries), so New can reuse the distances
+// it already gathered for the lookup overheads.
+func chooseBeaconsDist(members []topology.CacheIndex, failed []bool, b int, dm []float64) []topology.CacheIndex {
 	type cand struct {
 		c    topology.CacheIndex
 		cost float64
 	}
+	gl := len(members)
 	var cands []cand
-	for _, c := range members {
+	for ci, c := range members {
 		if failed[int(c)] {
 			continue
 		}
 		var sum float64
-		for _, o := range members {
+		for oi, o := range members {
 			if o != c && !failed[int(o)] {
-				sum += nw.Dist(c, o)
+				sum += dm[ci*gl+oi]
 			}
 		}
 		cands = append(cands, cand{c: c, cost: sum})
@@ -297,7 +337,7 @@ func (s *Simulator) transferCost(rtt, sizeKB float64) float64 {
 func (s *Simulator) push(ev event) {
 	ev.seq = s.seq
 	s.seq++
-	heap.Push(&s.queue, ev)
+	s.queue.push(ev)
 }
 
 // Run replays the request and update logs and returns the collected
@@ -308,7 +348,10 @@ func (s *Simulator) Run(requests []workload.Request, updates []workload.Update) 
 	}
 	s.ran = true
 
-	s.queue = make(eventQueue, 0, len(requests)+len(updates))
+	// Every request can schedule one fetch-completion event on top of the
+	// initial log, so size the heap for the worst case up front and avoid
+	// regrowth mid-run.
+	s.queue = make(eventQueue, 0, 2*len(requests)+len(updates))
 	for _, r := range requests {
 		if int(r.Cache) < 0 || int(r.Cache) >= len(s.caches) {
 			return nil, fmt.Errorf("netsim: request for unknown cache %d", r.Cache)
@@ -329,7 +372,7 @@ func (s *Simulator) Run(requests []workload.Request, updates []workload.Update) 
 	s.stages.Add("simulate", int64(len(requests)+len(updates)))
 	rep := newReport(len(s.caches), s.numGroups, s.groupOf)
 	for s.queue.Len() > 0 {
-		ev := heap.Pop(&s.queue).(event)
+		ev := s.queue.pop()
 		switch ev.kind {
 		case evRequest:
 			s.handleRequest(ev, rep)
@@ -534,19 +577,28 @@ func (s *Simulator) handleFetchComplete(ev event) {
 // recorded only when record is true (post-warmup); the invalidation itself
 // always happens.
 func (s *Simulator) pushInvalidate(doc workload.DocID, rep *Report, record bool) {
-	groupHolders := make(map[int]int)
+	// Per-group tallies live in reused scratch (counts indexed by group,
+	// plus the list of touched groups to zero afterwards) instead of a
+	// freshly allocated map per update.
+	counts := s.groupHolderCounts
+	touched := s.touchedGroups[:0]
 	for i, ec := range s.caches {
 		if ec.Invalidate(doc) {
-			groupHolders[s.groupOf[i]]++
+			g := s.groupOf[i]
+			if counts[g] == 0 {
+				touched = append(touched, g)
+			}
+			counts[g]++
 		}
 	}
-	if !record {
-		return
+	for _, g := range touched {
+		if record {
+			rep.InvalidationsOrigin++
+			rep.InvalidationsForwarded += int64(counts[g] - 1)
+		}
+		counts[g] = 0
 	}
-	for _, holders := range groupHolders {
-		rep.InvalidationsOrigin++
-		rep.InvalidationsForwarded += int64(holders - 1)
-	}
+	s.touchedGroups = touched[:0]
 }
 
 // CacheStats exposes the per-cache counters after a run, for diagnostics

@@ -840,3 +840,68 @@ func TestWarmupExcludesUpdatesAndInvalidations(t *testing.T) {
 			rep.InvalidationsOrigin, rep.InvalidationsForwarded)
 	}
 }
+
+func TestRequestPathAllocationLean(t *testing.T) {
+	nw := lineNetwork(t)
+	cat := fixedCatalog(t, 4)
+	s, err := New(nw, oneGroup(), cat, exactConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ran = true // drive handleRequest directly; Run must not be reused
+	// Cache 1 holds doc 0, so cache 0's requests exercise the longest path:
+	// local miss, holder scan, group hit, fetch scheduling.
+	d, err := cat.Doc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.caches[1].Insert(d, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.queue = make(eventQueue, 0, 4096)
+	rep := newReport(2, 1, s.groupOf)
+	ev := event{timeSec: 1, kind: evRequest, cache: 0, doc: 0}
+	avg := testing.AllocsPerRun(500, func() {
+		s.handleRequest(ev, rep)
+		s.queue = s.queue[:0] // discard scheduled fetch completions
+	})
+	// The only remaining allocation is the latency-sample append inside
+	// Report.record, which is amortized; everything else runs on reused
+	// scratch.
+	if avg >= 1 {
+		t.Fatalf("request path averaged %v allocs/request, want < 1", avg)
+	}
+}
+
+func TestPushInvalidateAllocationFree(t *testing.T) {
+	nw := lineNetwork(t)
+	cat := fixedCatalog(t, 4)
+	cfg := exactConfig()
+	cfg.PushInvalidation = true
+	s, err := New(nw, oneGroup(), cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One priming round with a real holder exercises the touched-group
+	// bookkeeping and leaves the scratch buffers at their working size.
+	d, err := cat.Doc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.caches[0].Insert(d, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	rep := newReport(2, 1, s.groupOf)
+	s.pushInvalidate(1, rep, true)
+	if rep.InvalidationsOrigin != 1 {
+		t.Fatalf("priming round recorded %d origin invalidations, want 1", rep.InvalidationsOrigin)
+	}
+	// The sweep itself must not allocate (the old implementation built a
+	// fresh map per update even when nothing was held).
+	avg := testing.AllocsPerRun(200, func() {
+		s.pushInvalidate(1, rep, true)
+	})
+	if avg != 0 {
+		t.Fatalf("pushInvalidate averaged %v allocs/update, want 0", avg)
+	}
+}

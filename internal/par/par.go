@@ -1,0 +1,122 @@
+// Package par provides the shared bounded worker pool used by the probing,
+// clustering, embedding, and experiment layers.
+//
+// All helpers dispatch work by index so callers keep results in
+// deterministic, index-addressed slices: parallelism must never leak into
+// outcomes, only into wall-clock time. The work channel is buffered to the
+// full item count so the producer never blocks behind slow workers.
+package par
+
+import "sync"
+
+// DefaultWorkers is the pool size used when a caller passes workers <= 0,
+// matching the probing layer's historical default.
+const DefaultWorkers = 8
+
+// normalize clamps a requested worker count to [1, n].
+func normalize(n, workers int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines. With workers <= 1 (or n <= 1) it runs inline with no
+// goroutines and no channel, so serial callers pay nothing. fn must be safe
+// for concurrent invocation when workers > 1.
+func ForEach(n, workers int, fn func(i int)) {
+	ForEachWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker's identity passed to fn, so
+// callers can give each worker private scratch space. Worker IDs are in
+// [0, effective workers).
+func ForEachWorker(n, workers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = normalize(n, workers)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	// Buffered to n: the producer enqueues everything up front and never
+	// blocks behind a slow worker.
+	work := make(chan int, n)
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range work {
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForEachErr runs fn(i) for every i in [0, n) across at most workers
+// goroutines and returns the error of the lowest index that failed (all
+// items run regardless). The error selection is deterministic: which worker
+// happened to observe a failure first never changes the result.
+func ForEachErr(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	ForEach(n, workers, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Chunks returns the number of fixed-size chunks covering [0, n). Chunk
+// boundaries depend only on n and size — never on the worker count — so
+// per-chunk reductions performed in chunk order are bit-identical across
+// every parallelism setting.
+func Chunks(n, size int) int {
+	if n <= 0 || size <= 0 {
+		return 0
+	}
+	return (n + size - 1) / size
+}
+
+// ChunkBounds returns the half-open index range [lo, hi) of chunk c for
+// fixed chunk size size over n items.
+func ChunkBounds(n, size, c int) (lo, hi int) {
+	lo = c * size
+	hi = lo + size
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// ForEachChunk runs fn(chunk, lo, hi) for every fixed-size chunk of [0, n)
+// across at most workers goroutines. Because the chunk structure is a pure
+// function of (n, size), any chunk-order reduction over the results is
+// invariant to workers.
+func ForEachChunk(n, size, workers int, fn func(chunk, lo, hi int)) {
+	nc := Chunks(n, size)
+	ForEach(nc, workers, func(c int) {
+		lo, hi := ChunkBounds(n, size, c)
+		fn(c, lo, hi)
+	})
+}

@@ -1,0 +1,104 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		n := 57
+		hits := make([]int32, n)
+		ForEach(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachWorkerIDsBounded(t *testing.T) {
+	var bad atomic.Int32
+	ForEachWorker(100, 4, func(worker, _ int) {
+		if worker < 0 || worker >= 4 {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatal("worker id out of range")
+	}
+}
+
+func TestForEachErrReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 8} {
+		err := ForEachErr(50, workers, func(i int) error {
+			switch i {
+			case 7:
+				return errA
+			case 31:
+				return errB
+			}
+			return nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: got %v, want lowest-index error %v", workers, err, errA)
+		}
+	}
+	if err := ForEachErr(10, 4, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestChunkStructureIndependentOfWorkers(t *testing.T) {
+	n, size := 103, 16
+	want := Chunks(n, size)
+	if want != 7 {
+		t.Fatalf("Chunks(103,16) = %d, want 7", want)
+	}
+	covered := make([]bool, n)
+	for c := 0; c < want; c++ {
+		lo, hi := ChunkBounds(n, size, c)
+		if lo >= hi {
+			t.Fatalf("chunk %d empty: [%d,%d)", c, lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			if covered[i] {
+				t.Fatalf("index %d covered twice", i)
+			}
+			covered[i] = true
+		}
+	}
+	for i, ok := range covered {
+		if !ok {
+			t.Fatalf("index %d not covered", i)
+		}
+	}
+}
+
+func TestForEachChunkMatchesBounds(t *testing.T) {
+	n, size := 70, 9
+	seen := make([]int32, n)
+	ForEachChunk(n, size, 4, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	for i, h := range seen {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}

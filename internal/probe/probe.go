@@ -15,9 +15,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
 	"sync/atomic"
 
+	"edgecachegroups/internal/par"
 	"edgecachegroups/internal/simrand"
 	"edgecachegroups/internal/topology"
 )
@@ -275,35 +275,9 @@ func (p *Prober) ResetCounters() {
 	p.measurements.Store(0)
 }
 
-// forEach runs fn(0..n-1) over the worker pool.
+// forEach runs fn(0..n-1) over the shared worker pool. Results are
+// schedule-independent because every measurement draws from its own
+// per-pair split source.
 func (p *Prober) forEach(n int, fn func(i int)) {
-	workers := p.cfg.Parallelism
-	if workers <= 0 {
-		workers = 8
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
+	par.ForEach(n, p.cfg.Parallelism, fn)
 }

@@ -2,6 +2,7 @@ package verify
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -22,9 +23,11 @@ type Stages struct {
 }
 
 type stageEntry struct {
-	count int64
-	nanos int64
-	items int64
+	count       int64
+	nanos       int64
+	items       int64
+	allocs      int64
+	parallelism int
 }
 
 // StageStat is a snapshot of one stage's counters.
@@ -38,6 +41,12 @@ type StageStat struct {
 	// Items is a stage-defined work counter (caches probed, points
 	// clustered, events simulated).
 	Items int64
+	// Allocs is the total heap allocation count attributed to the stage by
+	// StartMem invocations (0 when only Start was used).
+	Allocs int64
+	// Parallelism is the widest worker-pool bound recorded for the stage
+	// via SetParallelism (0 when never recorded).
+	Parallelism int
 }
 
 func (s *Stages) entry(name string) *stageEntry {
@@ -76,6 +85,44 @@ func (s *Stages) Start(name string) func() {
 	return func() { s.Observe(name, time.Since(begin)) }
 }
 
+// SetParallelism records the worker-pool bound the named stage ran under.
+// The widest bound seen wins, so a run that mixes serial and parallel
+// invocations reports the pool it actually had available.
+func (s *Stages) SetParallelism(name string, workers int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entry(name)
+	if workers > e.parallelism {
+		e.parallelism = workers
+	}
+}
+
+// AddAllocs increments the named stage's allocation counter.
+func (s *Stages) AddAllocs(name string, allocs int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entry(name).allocs += allocs
+}
+
+// StartMem begins timing one invocation of the named stage like Start and
+// additionally attributes the heap-allocation delta (runtime Mallocs) of
+// the enclosed region to the stage. ReadMemStats stops the world briefly,
+// so this is meant for coarse pipeline stages (a handful of calls per run),
+// not inner loops. The delta counts allocations by every goroutine in the
+// process, so attribution assumes stages do not overlap.
+func (s *Stages) StartMem(name string) func() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	before := ms.Mallocs
+	begin := time.Now()
+	return func() {
+		d := time.Since(begin)
+		runtime.ReadMemStats(&ms)
+		s.Observe(name, d)
+		s.AddAllocs(name, int64(ms.Mallocs-before))
+	}
+}
+
 // Snapshot returns the current per-stage counters, sorted by stage name.
 func (s *Stages) Snapshot() []StageStat {
 	s.mu.Lock()
@@ -83,10 +130,12 @@ func (s *Stages) Snapshot() []StageStat {
 	out := make([]StageStat, 0, len(s.stages))
 	for name, e := range s.stages {
 		out = append(out, StageStat{
-			Name:     name,
-			Count:    e.count,
-			Duration: time.Duration(e.nanos),
-			Items:    e.items,
+			Name:        name,
+			Count:       e.count,
+			Duration:    time.Duration(e.nanos),
+			Items:       e.items,
+			Allocs:      e.allocs,
+			Parallelism: e.parallelism,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -112,6 +161,12 @@ func (s *Stages) String() string {
 		p := fmt.Sprintf("%s: %dx %v", st.Name, st.Count, st.Duration.Round(time.Microsecond))
 		if st.Items > 0 {
 			p += fmt.Sprintf(" (%d items)", st.Items)
+		}
+		if st.Parallelism > 0 {
+			p += fmt.Sprintf(" [par %d]", st.Parallelism)
+		}
+		if st.Allocs > 0 {
+			p += fmt.Sprintf(" [%d allocs]", st.Allocs)
 		}
 		parts = append(parts, p)
 	}

@@ -256,3 +256,37 @@ func TestCentersAreMeansCatchesKMeansRepair(t *testing.T) {
 		t.Fatalf("K-means emitted a malformed partition: %v", err)
 	}
 }
+
+func TestStagesParallelismAndAllocs(t *testing.T) {
+	var s Stages
+	s.SetParallelism("cluster", 4)
+	s.SetParallelism("cluster", 8)
+	s.SetParallelism("cluster", 2) // widest bound wins
+	s.AddAllocs("cluster", 10)
+	s.AddAllocs("cluster", 5)
+	stop := s.StartMem("embed")
+	buf := make([]float64, 1024)
+	_ = buf
+	stop()
+	snap := s.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("got %d stages, want 2", len(snap))
+	}
+	cl, em := snap[0], snap[1]
+	if cl.Name != "cluster" || em.Name != "embed" {
+		t.Fatalf("unexpected order: %v", snap)
+	}
+	if cl.Parallelism != 8 {
+		t.Fatalf("cluster parallelism = %d, want widest bound 8", cl.Parallelism)
+	}
+	if cl.Allocs != 15 {
+		t.Fatalf("cluster allocs = %d, want 15", cl.Allocs)
+	}
+	if em.Count != 1 || em.Allocs < 1 {
+		t.Fatalf("StartMem stage %+v: want 1 invocation and >= 1 attributed alloc", em)
+	}
+	out := s.String()
+	if !strings.Contains(out, "[par 8]") || !strings.Contains(out, "allocs]") {
+		t.Fatalf("String() missing parallelism/alloc segments: %s", out)
+	}
+}

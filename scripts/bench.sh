@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Benchmark baseline runner: runs the parallel-pipeline benchmark suite with
+# -benchmem and repeated counts, then converts the output into the tracked
+# JSON baseline (BENCH_pipeline.json at the repo root).
+#
+# Usage: scripts/bench.sh [count] [benchtime]
+#   count     -count passed to go test (default 3)
+#   benchtime -benchtime passed to go test (default 1x for the figure bench,
+#             see BENCH_PATTERN below; raise for stabler numbers)
+#
+# The pattern covers the serial/parallel pairs (KMeansPar1/8,
+# GNPEmbedHosts1/8), the end-to-end Fig3 sweep, and the simulator throughput
+# path whose allocs/op the allocation-lean work targets.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+COUNT="${1:-3}"
+BENCHTIME="${2:-1x}"
+BENCH_PATTERN='BenchmarkKMeansPar|BenchmarkGNPEmbedHosts|BenchmarkFig3GroupSizeSweep|BenchmarkSimulatorThroughput'
+OUT="BENCH_pipeline.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "==> go test -bench (count=$COUNT benchtime=$BENCHTIME)"
+go test -run '^$' -bench "$BENCH_PATTERN" -benchmem -count "$COUNT" -benchtime "$BENCHTIME" . | tee "$RAW"
+
+echo "==> $OUT"
+go run ./cmd/benchjson < "$RAW" > "$OUT"
+
+echo "bench: wrote $OUT"
