@@ -81,6 +81,7 @@ func run(args []string, w io.Writer) error {
 		{"Extension substrate", func(o experiments.Options) (tabler, error) { return experiments.SubstrateStudy(o) }},
 		{"Extension probe overhead", func(o experiments.Options) (tabler, error) { return experiments.ProbeOverheadStudy(o) }},
 		{"Extension freshness", func(o experiments.Options) (tabler, error) { return experiments.FreshnessStudy(o) }},
+		{"Extension protocol resilience", func(o experiments.Options) (tabler, error) { return experiments.ProtocolResilienceStudy(o) }},
 	}
 
 	var todo []entry

@@ -63,6 +63,68 @@ func TestRunEuclideanScheme(t *testing.T) {
 	}
 }
 
+func TestRunDistributedJSON(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-caches", "40", "-k", "4", "-l", "5", "-m", "2",
+		"-distributed", "-loss", "0.2", "-dup", "0.15", "-delay", "0.2", "-crash", "3",
+		"-retries", "6", "-json"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var out output
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if !out.Distributed {
+		t.Fatal("distributed flag not reported")
+	}
+	if out.MessagesSent <= 0 {
+		t.Fatalf("no messages counted: %+v", out)
+	}
+	if out.Unresponsive < 3 {
+		t.Fatalf("crashed caches not reported unresponsive: %+v", out)
+	}
+	assigned := 0
+	for _, g := range out.Assignments {
+		if g >= 0 {
+			assigned++
+		}
+	}
+	if assigned+out.Unresponsive != 40 {
+		t.Fatalf("conservation: %d assigned + %d unresponsive != 40", assigned, out.Unresponsive)
+	}
+	total := 0
+	for _, s := range out.GroupSizes {
+		total += s
+	}
+	if total != assigned {
+		t.Fatalf("group sizes sum to %d, want %d", total, assigned)
+	}
+
+	// Same seed, same faults — bit-identical output.
+	var buf2 bytes.Buffer
+	if err := run(args, &buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("distributed run not reproducible for a fixed seed")
+	}
+}
+
+func TestRunDistributedText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-caches", "40", "-k", "4", "-l", "5", "-m", "2",
+		"-scheme", "sl", "-distributed", "-loss", "0.1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"sl-distributed", "messages:", "retries", "coverage:", "degraded"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-scheme", "bogus"}, &buf); err == nil {
@@ -73,6 +135,15 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-caches", "10", "-k", "50"}, &buf); err == nil {
 		t.Fatal("k > caches accepted")
+	}
+	if err := run([]string{"-caches", "20", "-k", "2", "-distributed", "-scheme", "euclidean"}, &buf); err == nil {
+		t.Fatal("euclidean distributed mode accepted")
+	}
+	if err := run([]string{"-caches", "20", "-k", "2", "-distributed", "-crash", "20"}, &buf); err == nil {
+		t.Fatal("crash count >= caches accepted")
+	}
+	if err := run([]string{"-caches", "20", "-k", "2", "-distributed", "-loss", "1"}, &buf); err == nil {
+		t.Fatal("loss=1 accepted")
 	}
 }
 

@@ -205,12 +205,14 @@ func (ec *EdgeCache) Insert(d workload.Document, version int64, nowSec float64) 
 		return fmt.Errorf("cache: document %d (%.1fKB > %.1fKB): %w", d.ID, d.SizeKB, ec.cfg.CapacityKB, ErrTooLarge)
 	}
 	if old, ok := ec.entries[d.ID]; ok {
-		// Refresh in place; treat as a re-insert at the new version.
-		old.version = version
-		old.insertedAt = nowSec
-		old.accesses = 0
-		old.lastAccess = nowSec
-		return nil
+		// Re-insert of a cached document: remove the old copy (without the
+		// eviction hook — the owner still holds the document) and fall
+		// through to the normal insert path, so the new size and update
+		// rate are recorded, usedKB stays true to the stored bytes, a grown
+		// document triggers eviction like any other admission, and the
+		// re-insert is counted. The old code refreshed version/time in
+		// place and kept stale sizeKB/updateRate forever.
+		ec.removeEntry(old, false)
 	}
 	for ec.usedKB+d.SizeKB > ec.cfg.CapacityKB {
 		if !ec.evictOne(nowSec) {

@@ -191,6 +191,50 @@ func TestReinsertRefreshesVersion(t *testing.T) {
 	}
 }
 
+// TestReinsertUpdatesMetadata pins the refresh-path fix: a re-insert
+// must adopt the document's new size and update rate, adjust usedKB,
+// run eviction when the document grew past the remaining capacity, and
+// count as an insert — the old in-place refresh did none of these.
+func TestReinsertUpdatesMetadata(t *testing.T) {
+	ec := newCache(t, 30)
+	var evicted []workload.DocID
+	ec.SetEvictionHook(func(d workload.DocID) { evicted = append(evicted, d) })
+	if err := ec.Insert(doc(1, 10, 0), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ec.Insert(doc(2, 10, 0), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Doc 1 grew from 10KB to 25KB: the refresh must free its old copy and
+	// evict doc 2 to make room.
+	if err := ec.Insert(doc(1, 25, 0.5), 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if ec.Len() != 1 || ec.UsedKB() != 25 {
+		t.Fatalf("grown reinsert: len=%d used=%v, want 1/25", ec.Len(), ec.UsedKB())
+	}
+	if !ec.Contains(1, 2) {
+		t.Fatal("version not refreshed")
+	}
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Fatalf("eviction hook calls = %v, want [2] (replaced doc must not notify)", evicted)
+	}
+	st := ec.Stats()
+	if st.Inserts != 3 {
+		t.Fatalf("Inserts = %d, want 3 (re-insert counted)", st.Inserts)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", st.Evictions)
+	}
+	// Shrinking releases space.
+	if err := ec.Insert(doc(1, 5, 0.5), 3, 6); err != nil {
+		t.Fatal(err)
+	}
+	if ec.UsedKB() != 5 {
+		t.Fatalf("shrunk reinsert used=%v, want 5", ec.UsedKB())
+	}
+}
+
 func TestInvalidate(t *testing.T) {
 	ec := newCache(t, 100)
 	if err := ec.Insert(doc(1, 10, 0), 1, 0); err != nil {

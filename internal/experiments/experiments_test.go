@@ -536,3 +536,41 @@ func TestFreshnessStudyShape(t *testing.T) {
 			first.K, first.Savings, last.K, last.Savings)
 	}
 }
+
+func TestProtocolResilienceStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	res, err := ProtocolResilienceStudy(testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 5 {
+		t.Fatalf("too few scenarios: %d", len(res.Points))
+	}
+	n := float64(res.NumCaches)
+	for _, p := range res.Points {
+		if p.Assigned+p.Unresponsive != n {
+			t.Fatalf("conservation violated in %q: %+v", p.Name, p)
+		}
+		if p.Messages <= 0 {
+			t.Fatalf("no traffic in %q: %+v", p.Name, p)
+		}
+	}
+	reliable := res.Points[0]
+	if reliable.Unresponsive != 0 || reliable.Retries != 0 || reliable.DupReplies != 0 {
+		t.Fatalf("fault counters nonzero on the reliable baseline: %+v", reliable)
+	}
+	crashed := false
+	for _, p := range res.Points {
+		if strings.Contains(p.Name, "crashed") && p.Unresponsive > 0 {
+			crashed = true
+		}
+	}
+	if !crashed {
+		t.Fatal("crash scenarios reported no unresponsive caches")
+	}
+	if got := len(res.Table().Rows); got != len(res.Points) {
+		t.Fatalf("table rows = %d, want %d", got, len(res.Points))
+	}
+}

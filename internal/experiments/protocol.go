@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"edgecachegroups/internal/metrics"
+	"edgecachegroups/internal/protocol"
+	"edgecachegroups/internal/simrand"
+	"edgecachegroups/internal/topology"
+)
+
+// ---------------------------------------------------------------------------
+// Extension: distributed protocol resilience under transport faults.
+// ---------------------------------------------------------------------------
+
+// protocolScenario is one fault-model setting of the resilience sweep.
+type protocolScenario struct {
+	Name   string
+	Faults protocol.FaultConfig
+	// CrashFrac crashes this fraction of the caches (highest indices)
+	// before the run starts.
+	CrashFrac float64
+}
+
+// ProtocolResiliencePoint is one scenario's averaged outcome.
+type ProtocolResiliencePoint struct {
+	Name         string
+	Assigned     float64
+	Unresponsive float64
+	Unacked      float64
+	Messages     float64
+	Retries      float64
+	DupReplies   float64
+	Timeouts     float64
+	GICostMS     float64
+}
+
+// ProtocolResilienceResult holds the resilience sweep series.
+type ProtocolResilienceResult struct {
+	NumCaches int
+	K         int
+	Retries   int
+	Points    []ProtocolResiliencePoint
+}
+
+// ProtocolResilienceStudy runs the actual message-passing protocol (the
+// GF-coordinator and one agent per cache over the fault-injecting
+// transport) under escalating fault models and reports how coverage and
+// the retry/duplicate/timeout counters respond. Group quality (GICost)
+// degrades gracefully because unresponsive caches are excluded rather
+// than misplaced.
+func ProtocolResilienceStudy(o Options) (*ProtocolResilienceResult, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	o = o.withDefaults()
+	// The protocol runs real timers per retry round, so the study uses a
+	// moderate network rather than the paper's full 500 caches.
+	n := o.scaleInt(120, 30)
+	k := maxInt(n/10, 2)
+	l, m := landmarksFor(n)
+	const retries = 6
+	scenarios := []protocolScenario{
+		{Name: "reliable"},
+		{Name: "loss 10%", Faults: protocol.FaultConfig{Loss: 0.1}},
+		{Name: "loss 30%", Faults: protocol.FaultConfig{Loss: 0.3}},
+		{Name: "loss 20% + dup 20%", Faults: protocol.FaultConfig{Loss: 0.2, DupProb: 0.2}},
+		{Name: "loss 20% + delay 30%", Faults: protocol.FaultConfig{Loss: 0.2, DelayProb: 0.3}},
+		{Name: "10% caches crashed", CrashFrac: 0.1},
+		{Name: "loss 20% + 10% crashed", Faults: protocol.FaultConfig{Loss: 0.2}, CrashFrac: 0.1},
+	}
+	res := &ProtocolResilienceResult{
+		NumCaches: n, K: k, Retries: retries,
+		Points: make([]ProtocolResiliencePoint, len(scenarios)),
+	}
+	for i, sc := range scenarios {
+		res.Points[i].Name = sc.Name
+	}
+	for trial := 0; trial < o.Trials; trial++ {
+		seed := trialSeed(o, trial)
+		e, err := newEnv(n, o, seed, false)
+		if err != nil {
+			return nil, err
+		}
+		err = forEach(len(scenarios), o.Parallelism, func(i int) error {
+			sc := scenarios[i]
+			src := simrand.New(seed+101).SplitN("scenario", i)
+			tr, err := protocol.NewFaultTransport(sc.Faults, src.Split("transport"))
+			if err != nil {
+				return err
+			}
+			defer tr.Close()
+			agents := make([]*protocol.Agent, n)
+			for a := range agents {
+				ag, err := protocol.NewAgent(topology.CacheIndex(a), e.prober, tr)
+				if err != nil {
+					return err
+				}
+				agents[a] = ag
+			}
+			defer func() {
+				for _, ag := range agents {
+					ag.Stop()
+				}
+			}()
+			for c := 0; c < int(sc.CrashFrac*float64(n)); c++ {
+				tr.Kill(protocol.CacheAddr(topology.CacheIndex(n - 1 - c)))
+			}
+			cfg := protocol.Config{
+				L: l, M: m, K: k, Theta: DefaultTheta,
+				ReplyTimeout: 150 * time.Millisecond,
+				Retries:      retries,
+				RoundBudget:  time.Minute,
+			}
+			out, err := protocol.NewCoordinator(cfg, n, tr, src.Split("coordinator"))
+			if err != nil {
+				return err
+			}
+			r, err := out.Run()
+			if err != nil {
+				return fmt.Errorf("scenario %q: %w", sc.Name, err)
+			}
+			p := &res.Points[i]
+			inv := 1 / float64(o.Trials)
+			p.Assigned += float64(len(r.Assignments)) * inv
+			p.Unresponsive += float64(len(r.Unresponsive)) * inv
+			p.Unacked += float64(len(r.UnackedAssignments)) * inv
+			p.Messages += float64(r.MessagesSent) * inv
+			p.Retries += float64(r.Retries) * inv
+			p.DupReplies += float64(r.DuplicateReplies) * inv
+			p.Timeouts += float64(r.TimedOutWaits) * inv
+			p.GICostMS += metrics.AvgGroupInteractionCost(e.nw, r.Groups) * inv
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Table renders the protocol resilience study.
+func (r *ProtocolResilienceResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Extension: distributed protocol resilience (N=%d, K=%d, retries=%d)",
+			r.NumCaches, r.K, r.Retries),
+		Columns: []string{"fault model", "assigned", "unresp", "unacked", "messages", "retries", "dup replies", "timeouts", "GICost (ms)"},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			p.Name, f1(p.Assigned), f1(p.Unresponsive), f1(p.Unacked),
+			f1(p.Messages), f1(p.Retries), f1(p.DupReplies), f1(p.Timeouts), f1(p.GICostMS),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"every run completes with a verified plan: crashed/partitioned caches degrade to the unresponsive column, never corrupt groups",
+		"fault draws come from per-link child streams, so each scenario replays bit-identically for a fixed seed")
+	return t
+}

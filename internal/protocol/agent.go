@@ -8,9 +8,25 @@ import (
 	"edgecachegroups/internal/topology"
 )
 
+// AgentStats counts one agent's protocol-side work.
+type AgentStats struct {
+	// ProbeRequests is the number of distinct probe requests measured.
+	ProbeRequests int64
+	// DupProbeRequests is the number of duplicated probe requests answered
+	// from the reply cache without re-measuring.
+	DupProbeRequests int64
+	// Assigns is the number of distinct assignments applied.
+	Assigns int64
+	// DupAssigns is the number of duplicated assignment messages re-acked.
+	DupAssigns int64
+}
+
 // Agent is one edge cache's protocol endpoint: it answers probe requests
 // by measuring RTTs through the prober and records its eventual group
-// assignment.
+// assignment. Requests are deduplicated by sequence number — a duplicated
+// or retransmitted request is answered from a cached response instead of
+// being re-executed, so the fault-injection transport's duplication never
+// doubles measurement work or perturbs determinism.
 type Agent struct {
 	addr      Addr
 	prober    *probe.Prober
@@ -20,6 +36,12 @@ type Agent struct {
 	mu      sync.Mutex
 	group   int
 	members []topology.CacheIndex
+	stats   AgentStats
+
+	// responses caches the reply sent for each request seq, for dedup and
+	// retransmission. Seqs are unique per coordinator run, so the map is
+	// bounded by the run's message count.
+	responses map[uint64]Message
 
 	stopOnce sync.Once
 	stopped  chan struct{}
@@ -40,6 +62,7 @@ func NewAgent(i topology.CacheIndex, prober *probe.Prober, transport Transport) 
 		transport: transport,
 		inbox:     transport.Register(CacheAddr(i)),
 		group:     -1,
+		responses: make(map[uint64]Message),
 		stopped:   make(chan struct{}),
 		done:      make(chan struct{}),
 	}
@@ -58,6 +81,13 @@ func (a *Agent) Group() (int, []topology.CacheIndex) {
 	members := make([]topology.CacheIndex, len(a.members))
 	copy(members, a.members)
 	return a.group, members
+}
+
+// Stats returns a snapshot of the agent's work counters.
+func (a *Agent) Stats() AgentStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
 }
 
 // Stop signals the agent to exit and waits for it.
@@ -83,6 +113,22 @@ func (a *Agent) loop() {
 }
 
 func (a *Agent) handle(msg Message) {
+	// Duplicate request: re-send the cached response. This also covers a
+	// retransmission whose original reply was lost in flight.
+	a.mu.Lock()
+	if cached, ok := a.responses[msg.Seq]; ok && cached.Kind == expectedReply(msg.Kind) {
+		switch msg.Kind {
+		case MsgProbeRequest:
+			a.stats.DupProbeRequests++
+		case MsgAssign:
+			a.stats.DupAssigns++
+		}
+		a.mu.Unlock()
+		_ = a.transport.Send(cached)
+		return
+	}
+	a.mu.Unlock()
+
 	switch msg.Kind {
 	case MsgProbeRequest:
 		rtts := make([]float64, len(msg.Targets))
@@ -95,26 +141,46 @@ func (a *Agent) handle(msg Message) {
 			}
 			rtts[i] = v
 		}
-		// Reply delivery failures are the coordinator's problem (it
-		// retries); the agent stays fire-and-forget.
-		_ = a.transport.Send(Message{
+		reply := Message{
 			Kind: MsgProbeReply,
 			From: a.addr,
 			To:   msg.From,
 			Seq:  msg.Seq,
 			RTTs: rtts,
-		})
-	case MsgAssign:
+		}
 		a.mu.Lock()
-		a.group = msg.Group
-		a.members = append([]topology.CacheIndex(nil), msg.Members...)
+		a.stats.ProbeRequests++
+		a.responses[msg.Seq] = reply
 		a.mu.Unlock()
-		_ = a.transport.Send(Message{
+		// Reply delivery failures are the coordinator's problem (it
+		// retries); the agent stays fire-and-forget.
+		_ = a.transport.Send(reply)
+	case MsgAssign:
+		ack := Message{
 			Kind:  MsgAssignAck,
 			From:  a.addr,
 			To:    msg.From,
 			Seq:   msg.Seq,
 			Group: msg.Group,
-		})
+		}
+		a.mu.Lock()
+		a.group = msg.Group
+		a.members = append([]topology.CacheIndex(nil), msg.Members...)
+		a.stats.Assigns++
+		a.responses[msg.Seq] = ack
+		a.mu.Unlock()
+		_ = a.transport.Send(ack)
+	}
+}
+
+// expectedReply maps a request kind to the response kind cached for it.
+func expectedReply(k MsgKind) MsgKind {
+	switch k {
+	case MsgProbeRequest:
+		return MsgProbeReply
+	case MsgAssign:
+		return MsgAssignAck
+	default:
+		return 0
 	}
 }

@@ -4,13 +4,20 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"edgecachegroups/internal/cluster"
 	"edgecachegroups/internal/probe"
 	"edgecachegroups/internal/simrand"
 	"edgecachegroups/internal/topology"
+	"edgecachegroups/internal/verify"
 )
+
+// NoRetries configures Config.Retries for exactly one attempt per request.
+// The zero value of Retries means "use the default"; this sentinel makes
+// an explicit zero-retry run expressible.
+const NoRetries = -1
 
 // Config tunes the distributed group formation run.
 type Config struct {
@@ -25,8 +32,26 @@ type Config struct {
 	// the default (100ms).
 	ReplyTimeout time.Duration
 	// Retries is how many times an unanswered request is re-sent before
-	// the peer is declared unresponsive. Zero means the default (2).
+	// the peer is declared unresponsive. Zero means the default (2); use
+	// NoRetries (-1) for an explicit zero-retry run.
 	Retries int
+	// BackoffBase, when positive, inserts an exponential backoff sleep
+	// before each retry attempt: base·2^(attempt-1), capped at BackoffMax,
+	// with deterministic jitter in [0.5,1.5) drawn from a child of the
+	// coordinator's random source. Zero disables backoff (retries fire
+	// immediately after the reply timeout, as before).
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff sleep. Zero means 10× BackoffBase.
+	BackoffMax time.Duration
+	// RoundBudget, when positive, bounds the total wall time of each
+	// protocol round including all retries and backoff sleeps. A round
+	// that exhausts its budget stops retrying and degrades (or fails with
+	// an error wrapping ErrBudgetExceeded if it is below quorum). Zero
+	// means unlimited.
+	RoundBudget time.Duration
+	// Stages, when non-nil, records per-round wall time and the retry /
+	// duplicate / timeout counters of the run.
+	Stages *verify.Stages
 	// Cluster tunes the K-means iteration.
 	Cluster cluster.Options
 }
@@ -35,8 +60,14 @@ func (c Config) withDefaults() Config {
 	if c.ReplyTimeout <= 0 {
 		c.ReplyTimeout = 100 * time.Millisecond
 	}
-	if c.Retries == 0 {
+	switch c.Retries {
+	case 0:
 		c.Retries = 2
+	case NoRetries:
+		c.Retries = 0
+	}
+	if c.BackoffBase > 0 && c.BackoffMax <= 0 {
+		c.BackoffMax = 10 * c.BackoffBase
 	}
 	return c
 }
@@ -54,11 +85,40 @@ func (c Config) Validate(numCaches int) error {
 		return fmt.Errorf("protocol: K=%d out of range [1,%d]", c.K, numCaches)
 	case c.Theta < 0:
 		return fmt.Errorf("protocol: Theta must be >= 0, got %v", c.Theta)
-	case c.Retries < 0:
-		return fmt.Errorf("protocol: Retries must be >= 0, got %d", c.Retries)
+	case c.Retries < NoRetries:
+		return fmt.Errorf("protocol: Retries must be >= 0 (or NoRetries), got %d", c.Retries)
+	case c.BackoffBase < 0:
+		return fmt.Errorf("protocol: BackoffBase must be >= 0, got %v", c.BackoffBase)
+	case c.BackoffMax < 0:
+		return fmt.Errorf("protocol: BackoffMax must be >= 0, got %v", c.BackoffMax)
+	case c.RoundBudget < 0:
+		return fmt.Errorf("protocol: RoundBudget must be >= 0, got %v", c.RoundBudget)
 	}
 	return c.Cluster.Validate()
 }
+
+// Typed protocol failures. Run never panics and never blocks forever: it
+// either returns a verified Result or an error wrapping one of these.
+var (
+	// ErrQuorum reports that a round gathered too few replies to proceed.
+	ErrQuorum = errors.New("protocol: insufficient responses for quorum")
+	// ErrBudgetExceeded reports that a round ran out of its RoundBudget.
+	ErrBudgetExceeded = errors.New("protocol: round deadline budget exceeded")
+)
+
+// RoundError is the typed failure of one protocol round; Round names the
+// round ("plset", "features", "cluster"). It wraps the cause, so
+// errors.Is(err, ErrQuorum) etc. see through it.
+type RoundError struct {
+	Round string
+	Err   error
+}
+
+// Error implements error.
+func (e *RoundError) Error() string { return fmt.Sprintf("protocol: round %s: %v", e.Round, e.Err) }
+
+// Unwrap supports errors.Is/As.
+func (e *RoundError) Unwrap() error { return e.Err }
 
 // Result is the outcome of a distributed group formation run.
 type Result struct {
@@ -74,21 +134,45 @@ type Result struct {
 	// they are not part of any group.
 	Unresponsive []topology.CacheIndex
 	// UnackedAssignments lists caches whose assignment was sent but never
-	// acknowledged (they may or may not have applied it).
+	// acknowledged (they may or may not have applied it), in ascending
+	// order.
 	UnackedAssignments []topology.CacheIndex
 	// MessagesSent counts every protocol message the coordinator sent.
 	MessagesSent int64
+	// Retries counts request re-sends across all rounds.
+	Retries int64
+	// DuplicateReplies counts redundant replies received (duplicated
+	// deliveries, late replies to already-answered requests, and replies
+	// from earlier rounds).
+	DuplicateReplies int64
+	// TimedOutWaits counts reply waits that expired with requests still
+	// pending.
+	TimedOutWaits int64
+	// PLSetSize and PLSetResponsive surface the landmark round's quorum:
+	// landmark selection proceeds on a partial quorum of at least L-1 of
+	// the M*(L-1) PLSet members.
+	PLSetSize       int
+	PLSetResponsive int
+	// Degraded reports that the run completed but not cleanly: a partial
+	// PLSet quorum, fewer landmarks than L, unresponsive caches, or
+	// unacknowledged assignments.
+	Degraded bool
 }
 
 // Coordinator drives the distributed protocol. Build one per run.
 type Coordinator struct {
-	cfg       Config
-	n         int
-	transport Transport
-	inbox     <-chan Message
-	src       *simrand.Source
-	seq       uint64
-	sent      int64
+	cfg        Config
+	n          int
+	transport  Transport
+	inbox      <-chan Message
+	src        *simrand.Source
+	backoffSrc *simrand.Source
+	seq        uint64
+
+	sent     int64
+	retries  int64
+	dups     int64
+	timeouts int64
 }
 
 // NewCoordinator builds a coordinator for a network of numCaches agents.
@@ -103,15 +187,19 @@ func NewCoordinator(cfg Config, numCaches int, transport Transport, src *simrand
 		return nil, err
 	}
 	return &Coordinator{
-		cfg:       cfg.withDefaults(),
-		n:         numCaches,
-		transport: transport,
-		inbox:     transport.Register(CoordinatorAddr()),
-		src:       src,
+		cfg:        cfg.withDefaults(),
+		n:          numCaches,
+		transport:  transport,
+		inbox:      transport.Register(CoordinatorAddr()),
+		src:        src,
+		backoffSrc: src.Split("backoff"),
 	}, nil
 }
 
 // Run executes the five protocol rounds and returns the formed groups.
+// It returns either a Result that passed the verify-layer conservation
+// checks or a typed error (*RoundError / *verify.Error); it never panics
+// and every wait is bounded by ReplyTimeout, Retries, and RoundBudget.
 func (c *Coordinator) Run() (*Result, error) {
 	// Round 1: PLSet probing.
 	plIdx, err := c.src.SampleWithoutReplacement(c.n, c.cfg.M*(c.cfg.L-1))
@@ -127,10 +215,10 @@ func (c *Coordinator) Run() (*Result, error) {
 	for _, ci := range plset {
 		plTargets = append(plTargets, probe.Cache(ci))
 	}
-	plReplies := c.requestRound(plset, plTargets)
+	plReplies, plOut := c.requestRound("plset", plset, plTargets)
 	if len(plReplies) < c.cfg.L-1 {
-		return nil, fmt.Errorf("protocol: only %d of %d PLSet members responded; need >= %d",
-			len(plReplies), len(plset), c.cfg.L-1)
+		return nil, c.roundFailure("plset", plOut, fmt.Errorf("only %d of %d PLSet members responded, need >= %d",
+			len(plReplies), len(plset), c.cfg.L-1))
 	}
 
 	// Round 2: landmark selection over the gathered matrix.
@@ -141,9 +229,10 @@ func (c *Coordinator) Run() (*Result, error) {
 	for i := range all {
 		all[i] = topology.CacheIndex(i)
 	}
-	featReplies := c.requestRound(all, landmarks)
+	featReplies, featOut := c.requestRound("features", all, landmarks)
 	if len(featReplies) < c.cfg.K {
-		return nil, fmt.Errorf("protocol: only %d caches responded; need >= K=%d", len(featReplies), c.cfg.K)
+		return nil, c.roundFailure("features", featOut, fmt.Errorf("only %d caches responded, need >= K=%d",
+			len(featReplies), c.cfg.K))
 	}
 
 	// Round 4: clustering.
@@ -184,14 +273,16 @@ func (c *Coordinator) Run() (*Result, error) {
 	}
 	clustered, err := cluster.KMeans(points, k, seeder, c.cfg.Cluster, c.src.Split("kmeans"))
 	if err != nil {
-		return nil, fmt.Errorf("cluster features: %w", err)
+		return nil, &RoundError{Round: "cluster", Err: fmt.Errorf("cluster features: %w", err)}
 	}
 
 	res := &Result{
-		Landmarks:   landmarks,
-		Assignments: make(map[topology.CacheIndex]int, len(responsive)),
-		Groups:      make([][]topology.CacheIndex, k),
-		Centers:     clustered.Centers,
+		Landmarks:       landmarks,
+		Assignments:     make(map[topology.CacheIndex]int, len(responsive)),
+		Groups:          make([][]topology.CacheIndex, k),
+		Centers:         clustered.Centers,
+		PLSetSize:       len(plset),
+		PLSetResponsive: len(plReplies),
 	}
 	for i, ci := range responsive {
 		g := clustered.Assignments[i]
@@ -205,24 +296,177 @@ func (c *Coordinator) Run() (*Result, error) {
 	}
 
 	// Round 5: assignment broadcast with acknowledgements.
-	unacked := c.assignRound(res)
-	res.UnackedAssignments = unacked
+	res.UnackedAssignments = c.assignRound(res)
+	c.drainInbox()
 	res.MessagesSent = c.sent
+	res.Retries = c.retries
+	res.DuplicateReplies = c.dups
+	res.TimedOutWaits = c.timeouts
+	res.Degraded = res.PLSetResponsive < res.PLSetSize ||
+		len(res.Landmarks) < c.cfg.L ||
+		len(res.Unresponsive) > 0 ||
+		len(res.UnackedAssignments) > 0
+
+	if c.cfg.Stages != nil {
+		c.cfg.Stages.Add("protocol-retries", res.Retries)
+		c.cfg.Stages.Add("protocol-duplicate-replies", res.DuplicateReplies)
+		c.cfg.Stages.Add("protocol-timeouts", res.TimedOutWaits)
+	}
+	if err := c.verifyResult(res); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
+// verifyResult audits the run's conservation invariants through the
+// verify layer before the result is handed out.
+func (c *Coordinator) verifyResult(res *Result) error {
+	sizes := make([]int, len(res.Groups))
+	for g, members := range res.Groups {
+		sizes[g] = len(members)
+	}
+	return verify.Protocol(verify.ProtocolData{
+		NumCaches:        c.n,
+		NumGroups:        len(res.Groups),
+		GroupSizes:       sizes,
+		Assigned:         len(res.Assignments),
+		Unresponsive:     len(res.Unresponsive),
+		Unacked:          len(res.UnackedAssignments),
+		MessagesSent:     res.MessagesSent,
+		Retries:          res.Retries,
+		DuplicateReplies: res.DuplicateReplies,
+		TimedOutWaits:    res.TimedOutWaits,
+	})
+}
+
+// drainInbox counts the messages still queued after the final round as
+// redundant, without blocking. Together with the rounds' uniform
+// stale-message counting this makes DuplicateReplies equal to every
+// message delivered to the coordinator minus the accepted ones — a
+// quantity the transport's per-link fault streams fix deterministically.
+func (c *Coordinator) drainInbox() {
+	for {
+		select {
+		case _, ok := <-c.inbox:
+			if !ok {
+				return
+			}
+			c.dups++
+		default:
+			return
+		}
+	}
+}
+
+// roundOutcome records why a round stopped collecting replies.
+type roundOutcome struct {
+	budgetExceeded bool
+	inboxClosed    bool
+}
+
+// roundFailure wraps a below-quorum round into the typed error chain.
+func (c *Coordinator) roundFailure(round string, out roundOutcome, reason error) error {
+	err := fmt.Errorf("%v: %w", reason, ErrQuorum)
+	if out.budgetExceeded {
+		err = fmt.Errorf("%w (%w after %v)", err, ErrBudgetExceeded, c.cfg.RoundBudget)
+	}
+	if out.inboxClosed {
+		err = fmt.Errorf("%w (%w)", err, ErrTransportClosed)
+	}
+	return &RoundError{Round: round, Err: err}
+}
+
+// backoff sleeps the exponential-backoff delay before retry attempt
+// `attempt` (>= 1). It returns false when the round budget is already
+// exhausted. The jitter draw comes from a dedicated child stream, so the
+// number of draws — and therefore every stream split off c.src — is a
+// pure function of the retry schedule.
+func (c *Coordinator) backoff(attempt int, budgetEnd time.Time) bool {
+	if c.cfg.BackoffBase <= 0 {
+		if budgetEnd.IsZero() {
+			return true
+		}
+		return time.Now().Before(budgetEnd)
+	}
+	exp := attempt - 1
+	if exp > 16 {
+		exp = 16 // 2^16 × base is past any sane BackoffMax; avoid overflow
+	}
+	d := c.cfg.BackoffBase << uint(exp)
+	if d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	d = time.Duration(float64(d) * (0.5 + c.backoffSrc.Float64()))
+	if !budgetEnd.IsZero() {
+		remaining := time.Until(budgetEnd)
+		if remaining <= 0 {
+			return false
+		}
+		if d > remaining {
+			d = remaining
+		}
+	}
+	time.Sleep(d)
+	return true
+}
+
+// budgetEnd returns the wall-clock end of the current round's budget
+// (zero time when unbudgeted).
+func (c *Coordinator) budgetEnd() time.Time {
+	if c.cfg.RoundBudget <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(c.cfg.RoundBudget)
+}
+
+// waitWindow clamps the per-attempt reply timeout to the remaining round
+// budget. ok is false when the budget is exhausted.
+func (c *Coordinator) waitWindow(budgetEnd time.Time) (time.Duration, bool) {
+	wait := c.cfg.ReplyTimeout
+	if budgetEnd.IsZero() {
+		return wait, true
+	}
+	remaining := time.Until(budgetEnd)
+	if remaining <= 0 {
+		return 0, false
+	}
+	if remaining < wait {
+		wait = remaining
+	}
+	return wait, true
+}
+
 // requestRound sends probe requests for targets to every peer, retrying
-// unanswered peers, and returns the RTT vectors keyed by cache index.
-func (c *Coordinator) requestRound(peers []topology.CacheIndex, targets []probe.Endpoint) map[topology.CacheIndex][]float64 {
+// unanswered peers (with backoff) inside the round budget, and returns
+// the RTT vectors keyed by cache index.
+func (c *Coordinator) requestRound(name string, peers []topology.CacheIndex, targets []probe.Endpoint) (map[topology.CacheIndex][]float64, roundOutcome) {
+	if c.cfg.Stages != nil {
+		defer c.cfg.Stages.Start("protocol-" + name)()
+		defer func() { c.cfg.Stages.Add("protocol-"+name, int64(len(peers))) }()
+	}
+	var out roundOutcome
 	replies := make(map[topology.CacheIndex][]float64, len(peers))
 	pending := make(map[topology.CacheIndex]bool, len(peers))
 	for _, p := range peers {
 		pending[p] = true
 	}
 	seqOf := make(map[uint64]topology.CacheIndex)
+	budgetEnd := c.budgetEnd()
 
 	for attempt := 0; attempt <= c.cfg.Retries && len(pending) > 0; attempt++ {
-		for p := range pending {
+		if attempt > 0 {
+			if !c.backoff(attempt, budgetEnd) {
+				out.budgetExceeded = true
+				break
+			}
+			c.retries += int64(len(pending))
+		}
+		// Iterate peers in their given order so sequence numbers, and the
+		// per-link traffic they generate, are schedule-independent.
+		for _, p := range peers {
+			if !pending[p] {
+				continue
+			}
 			c.seq++
 			seqOf[c.seq] = p
 			c.sent++
@@ -234,64 +478,47 @@ func (c *Coordinator) requestRound(peers []topology.CacheIndex, targets []probe.
 				Targets: targets,
 			})
 		}
-		deadline := time.After(c.cfg.ReplyTimeout)
+		wait, ok := c.waitWindow(budgetEnd)
+		if !ok {
+			out.budgetExceeded = true
+			break
+		}
+		deadline := time.After(wait)
 	wait:
 		for len(pending) > 0 {
 			select {
 			case msg, ok := <-c.inbox:
 				if !ok {
-					return replies
+					out.inboxClosed = true
+					return replies, out
 				}
-				if msg.Kind != MsgProbeReply {
+				// Anything that is not a fresh answer to a pending request of
+				// this round — a duplicated delivery, a late reply to an
+				// answered or older request, a malformed reply — counts as
+				// redundant. Counting uniformly (rather than skipping stale
+				// kinds) keeps the counter equal to delivered-minus-accepted,
+				// which is schedule-independent.
+				p, known := seqOf[msg.Seq]
+				if !known || !pending[p] || msg.Kind != MsgProbeReply || len(msg.RTTs) != len(targets) {
+					c.dups++
 					continue
-				}
-				p, ok := seqOf[msg.Seq]
-				if !ok || !pending[p] {
-					continue // stale or duplicate
-				}
-				if len(msg.RTTs) != len(targets) {
-					continue // malformed
 				}
 				replies[p] = msg.RTTs
 				delete(pending, p)
 			case <-deadline:
+				c.timeouts++
 				break wait
 			}
 		}
 	}
-	return replies
+	return replies, out
 }
 
 // selectLandmarks runs the greedy max-min selection over the PLSet's
 // measured matrix. plTargets[0] is the origin; plTargets[i+1] is plset[i].
 func (c *Coordinator) selectLandmarks(plset []topology.CacheIndex, plTargets []probe.Endpoint, replies map[topology.CacheIndex][]float64) []probe.Endpoint {
-	// dist[i][j] over plTargets indices; unknown pairs default to 0 so
-	// that candidates with missing data are never preferred.
+	dist := symmetricPLSetMatrix(plset, plTargets, replies)
 	n := len(plTargets)
-	dist := make([][]float64, n)
-	for i := range dist {
-		dist[i] = make([]float64, n)
-	}
-	for i, ci := range plset {
-		rtts, ok := replies[ci]
-		if !ok {
-			continue
-		}
-		row := i + 1 // offset past the origin
-		for j, v := range rtts {
-			if v < 0 {
-				continue
-			}
-			if dist[row][j] == 0 {
-				dist[row][j] = v
-			} else {
-				dist[row][j] = (dist[row][j] + v) / 2
-			}
-			if dist[j][row] == 0 {
-				dist[j][row] = dist[row][j]
-			}
-		}
-	}
 
 	responsive := func(i int) bool {
 		if i == 0 {
@@ -336,17 +563,88 @@ func (c *Coordinator) selectLandmarks(plset []topology.CacheIndex, plTargets []p
 	return out
 }
 
+// symmetricPLSetMatrix builds the symmetric distance matrix over
+// plTargets from the gathered replies. Each direction of a pair may carry
+// an independent measurement (member i probed target j AND member j
+// probed target i); the matrix entry is the mean of whichever directions
+// were measured, computed once per unordered pair so both triangle
+// entries always agree. Unknown pairs stay 0 so candidates with missing
+// data are never preferred by the max-min selection.
+func symmetricPLSetMatrix(plset []topology.CacheIndex, plTargets []probe.Endpoint, replies map[topology.CacheIndex][]float64) [][]float64 {
+	n := len(plTargets)
+	directed := make([][]float64, n) // directed[i][j]: i's measurement of j, -1 unknown
+	for i := range directed {
+		directed[i] = make([]float64, n)
+		for j := range directed[i] {
+			directed[i][j] = -1
+		}
+	}
+	for i, ci := range plset {
+		rtts, ok := replies[ci]
+		if !ok {
+			continue
+		}
+		row := i + 1 // offset past the origin
+		for j, v := range rtts {
+			if j >= n || v < 0 {
+				continue
+			}
+			directed[row][j] = v
+		}
+	}
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := directed[i][j], directed[j][i]
+			var v float64
+			switch {
+			case a >= 0 && b >= 0:
+				v = (a + b) / 2
+			case a >= 0:
+				v = a
+			case b >= 0:
+				v = b
+			}
+			dist[i][j], dist[j][i] = v, v
+		}
+	}
+	return dist
+}
+
 // assignRound broadcasts assignments and collects acknowledgements,
-// retrying unacked peers. It returns the caches that never acked.
+// retrying unacked peers with the same backoff and budget discipline as
+// the request rounds. It returns the caches that never acked, ascending.
 func (c *Coordinator) assignRound(res *Result) []topology.CacheIndex {
-	pending := make(map[topology.CacheIndex]bool, len(res.Assignments))
+	if c.cfg.Stages != nil {
+		defer c.cfg.Stages.Start("protocol-assign")()
+		defer func() { c.cfg.Stages.Add("protocol-assign", int64(len(res.Assignments))) }()
+	}
+	order := make([]topology.CacheIndex, 0, len(res.Assignments))
 	for ci := range res.Assignments {
+		order = append(order, ci)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	pending := make(map[topology.CacheIndex]bool, len(order))
+	for _, ci := range order {
 		pending[ci] = true
 	}
 	seqOf := make(map[uint64]topology.CacheIndex)
+	budgetEnd := c.budgetEnd()
 
 	for attempt := 0; attempt <= c.cfg.Retries && len(pending) > 0; attempt++ {
-		for ci := range pending {
+		if attempt > 0 {
+			if !c.backoff(attempt, budgetEnd) {
+				break
+			}
+			c.retries += int64(len(pending))
+		}
+		for _, ci := range order {
+			if !pending[ci] {
+				continue
+			}
 			g := res.Assignments[ci]
 			c.seq++
 			seqOf[c.seq] = ci
@@ -360,7 +658,11 @@ func (c *Coordinator) assignRound(res *Result) []topology.CacheIndex {
 				Members: res.Groups[g],
 			})
 		}
-		deadline := time.After(c.cfg.ReplyTimeout)
+		wait, ok := c.waitWindow(budgetEnd)
+		if !ok {
+			break
+		}
+		deadline := time.After(wait)
 	wait:
 		for len(pending) > 0 {
 			select {
@@ -368,22 +670,26 @@ func (c *Coordinator) assignRound(res *Result) []topology.CacheIndex {
 				if !ok {
 					break wait
 				}
-				if msg.Kind != MsgAssignAck {
-					continue
-				}
-				ci, ok := seqOf[msg.Seq]
-				if !ok || !pending[ci] {
+				ci, known := seqOf[msg.Seq]
+				if !known || !pending[ci] || msg.Kind != MsgAssignAck {
+					c.dups++ // see requestRound: uniform redundant-message counting
 					continue
 				}
 				delete(pending, ci)
 			case <-deadline:
+				c.timeouts++
 				break wait
 			}
 		}
 	}
-	var unacked []topology.CacheIndex
-	for ci := range pending {
-		unacked = append(unacked, ci)
+	unacked := make([]topology.CacheIndex, 0, len(pending))
+	for _, ci := range order {
+		if pending[ci] {
+			unacked = append(unacked, ci)
+		}
+	}
+	if len(unacked) == 0 {
+		return nil
 	}
 	return unacked
 }

@@ -54,6 +54,18 @@ func (a Addr) String() string {
 	return fmt.Sprintf("cache-%d", int(a.cache))
 }
 
+// Link is a directed communication edge between two participants. The
+// fault-model transport keys its per-link loss overrides and random
+// streams by Link, so each direction of a pair fails independently — as
+// asymmetric routes do on a real network.
+type Link struct {
+	From Addr
+	To   Addr
+}
+
+// String implements fmt.Stringer.
+func (l Link) String() string { return l.From.String() + "->" + l.To.String() }
+
 // MsgKind discriminates protocol messages.
 type MsgKind int
 

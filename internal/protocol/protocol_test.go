@@ -93,7 +93,10 @@ func TestConfigValidate(t *testing.T) {
 		{L: 4, M: 2, K: 0},
 		{L: 4, M: 2, K: 61},
 		{L: 4, M: 2, K: 2, Theta: -1},
-		{L: 4, M: 2, K: 2, Retries: -1},
+		{L: 4, M: 2, K: 2, Retries: -2}, // below the NoRetries sentinel
+		{L: 4, M: 2, K: 2, BackoffBase: -time.Second},
+		{L: 4, M: 2, K: 2, BackoffMax: -time.Second},
+		{L: 4, M: 2, K: 2, RoundBudget: -time.Second},
 	}
 	for i, cfg := range bad {
 		if err := cfg.Validate(60); err == nil {

@@ -24,34 +24,153 @@ type Transport interface {
 // ErrTransportClosed is returned by Send after Close.
 var ErrTransportClosed = errors.New("protocol: transport closed")
 
+// FaultConfig describes the deterministic fault model of a ChanTransport.
+// The zero value injects no faults. Every probabilistic knob draws from a
+// per-link child stream of the transport's random source, so the fate of a
+// message is a pure function of (seed, link, position in the link's send
+// sequence) — independent of how concurrent senders on other links
+// interleave. Runs with the same seed therefore replay bit-identically.
+type FaultConfig struct {
+	// Loss is the default per-message drop probability in [0,1), applied
+	// independently on every link.
+	Loss float64
+	// LinkLoss overrides Loss for specific directed links, so tests can
+	// model one flaky path (e.g. coordinator -> cache-7) without
+	// perturbing the rest of the network.
+	LinkLoss map[Link]float64
+	// DupProb is the probability in [0,1) that a delivered message is
+	// duplicated (both copies then pass independently through the delay
+	// stage).
+	DupProb float64
+	// DelayProb is the probability in [0,1) that a message is delayed and
+	// reordered: a delayed message is held back and delivered only after
+	// 1..MaxDelay subsequent sends on the same link, so it arrives behind
+	// messages sent after it. Delay is measured in link messages, not
+	// wall-clock time — a virtual-time queue that keeps runs reproducible.
+	DelayProb float64
+	// MaxDelay bounds the reordering window in subsequent link sends.
+	// Zero means the default (4) when DelayProb > 0.
+	MaxDelay int
+}
+
+// Validate reports whether the fault model is usable.
+func (fc FaultConfig) Validate() error {
+	probs := []struct {
+		name string
+		v    float64
+	}{{"Loss", fc.Loss}, {"DupProb", fc.DupProb}, {"DelayProb", fc.DelayProb}}
+	for _, p := range probs {
+		if p.v < 0 || p.v >= 1 {
+			return fmt.Errorf("protocol: %s must be in [0,1), got %v", p.name, p.v)
+		}
+	}
+	for link, v := range fc.LinkLoss {
+		if v < 0 || v >= 1 {
+			return fmt.Errorf("protocol: LinkLoss[%v] must be in [0,1), got %v", link, v)
+		}
+	}
+	if fc.MaxDelay < 0 {
+		return fmt.Errorf("protocol: MaxDelay must be >= 0, got %d", fc.MaxDelay)
+	}
+	return nil
+}
+
+func (fc FaultConfig) withDefaults() FaultConfig {
+	if fc.DelayProb > 0 && fc.MaxDelay == 0 {
+		fc.MaxDelay = 4
+	}
+	return fc
+}
+
+// TransportStats counts what the fault model did to the traffic. All
+// counters are monotone; Delivered + the Dropped* counters account for
+// every copy the transport decided on (duplication mints extra copies).
+type TransportStats struct {
+	// Sent counts Send calls that found an open transport and a mailbox.
+	Sent int64
+	// Delivered counts copies placed into a mailbox.
+	Delivered int64
+	// Duplicated counts messages the duplication stage copied.
+	Duplicated int64
+	// Delayed counts copies held back for reordering.
+	Delayed int64
+	// DroppedLoss / DroppedDead / DroppedPartition / DroppedOverflow /
+	// DroppedClosed count copies removed by each failure mode (loss draw,
+	// crashed destination, partition cut, full mailbox, transport close
+	// with copies still held).
+	DroppedLoss      int64
+	DroppedDead      int64
+	DroppedPartition int64
+	DroppedOverflow  int64
+	DroppedClosed    int64
+}
+
+// heldMessage is a delayed copy waiting for `after` further sends on its
+// link before delivery.
+type heldMessage struct {
+	msg   Message
+	after int
+}
+
+// linkState is the per-directed-link fault state.
+type linkState struct {
+	src  *simrand.Source
+	held []heldMessage
+}
+
 // ChanTransport is an in-process Transport built on buffered channels,
-// with optional deterministic message loss for failure-injection tests.
+// with a deterministic fault model for failure-injection tests: per-link
+// message loss, duplication, bounded delay with reordering, network
+// partitions, and node crash/restart. See FaultConfig for the determinism
+// contract. The zero-fault configuration is a plain reliable transport.
 type ChanTransport struct {
 	mu     sync.Mutex
 	boxes  map[Addr]chan Message
 	closed bool
 
-	lossProb float64
-	lossSrc  *simrand.Source
+	faults FaultConfig
+	src    *simrand.Source // nil disables all probabilistic faults
+	links  map[Link]*linkState
 
-	// deadAddrs silently swallow all traffic (crashed nodes).
-	dead map[Addr]bool
+	// dead addresses silently swallow all traffic (crashed nodes);
+	// killAfter schedules a crash after N further deliveries to the node,
+	// so mid-round crashes land at deterministic protocol positions.
+	dead      map[Addr]bool
+	killAfter map[Addr]int
+
+	// isolated addresses are cut from the rest of the network (but can
+	// still reach each other) while a partition is active.
+	isolated map[Addr]bool
+
+	stats TransportStats
 }
 
 var _ Transport = (*ChanTransport)(nil)
 
-// NewChanTransport builds an in-process transport. lossProb in [0,1) drops
-// each message independently using src (nil src means no loss regardless
-// of lossProb).
+// NewChanTransport builds an in-process transport with uniform message
+// loss only — the pre-fault-model constructor, kept for callers that need
+// nothing beyond loss. lossProb in [0,1) drops each message independently
+// using src (nil src means no loss regardless of lossProb).
 func NewChanTransport(lossProb float64, src *simrand.Source) (*ChanTransport, error) {
-	if lossProb < 0 || lossProb >= 1 {
-		return nil, fmt.Errorf("protocol: lossProb must be in [0,1), got %v", lossProb)
+	return NewFaultTransport(FaultConfig{Loss: lossProb}, src)
+}
+
+// NewFaultTransport builds an in-process transport with the full
+// deterministic fault model. A nil src disables every probabilistic fault
+// (loss, duplication, delay) regardless of the configured probabilities;
+// partitions and crashes still apply.
+func NewFaultTransport(fc FaultConfig, src *simrand.Source) (*ChanTransport, error) {
+	if err := fc.Validate(); err != nil {
+		return nil, err
 	}
 	return &ChanTransport{
-		boxes:    make(map[Addr]chan Message),
-		lossProb: lossProb,
-		lossSrc:  src,
-		dead:     make(map[Addr]bool),
+		boxes:     make(map[Addr]chan Message),
+		faults:    fc.withDefaults(),
+		src:       src,
+		links:     make(map[Link]*linkState),
+		dead:      make(map[Addr]bool),
+		killAfter: make(map[Addr]int),
+		isolated:  make(map[Addr]bool),
 	}, nil
 }
 
@@ -77,41 +196,178 @@ func (t *ChanTransport) Kill(addr Addr) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.dead[addr] = true
+	delete(t.killAfter, addr)
 }
 
-// Send implements Transport.
+// KillAfter schedules addr to crash after n more deliveries reach it.
+// Deliveries to one address come from a single sequential sender in this
+// protocol, so the crash lands at the same protocol position on every
+// run. n <= 0 crashes immediately.
+func (t *ChanTransport) KillAfter(addr Addr, n int) {
+	if n <= 0 {
+		t.Kill(addr)
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.dead[addr] {
+		t.killAfter[addr] = n
+	}
+}
+
+// Restart revives a crashed addr: traffic flows to it again. The node's
+// mailbox is left as it was — messages that arrived before the crash are
+// treated as received.
+func (t *ChanTransport) Restart(addr Addr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.dead, addr)
+}
+
+// Partition cuts the listed addresses off from the rest of the network:
+// messages between an isolated and a non-isolated participant are
+// dropped, while traffic within either side still flows. A new call
+// replaces the previous partition.
+func (t *ChanTransport) Partition(isolated ...Addr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.isolated = make(map[Addr]bool, len(isolated))
+	for _, a := range isolated {
+		t.isolated[a] = true
+	}
+}
+
+// Heal removes the partition.
+func (t *ChanTransport) Heal() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.isolated = make(map[Addr]bool)
+}
+
+// Stats returns a snapshot of the fault-model counters.
+func (t *ChanTransport) Stats() TransportStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// link returns (creating on first use) the fault state of one directed
+// link. The link's stream is split off the root source by the link label,
+// a pure function of (seed, link) — creation order does not matter.
+func (t *ChanTransport) link(from, to Addr) *linkState {
+	key := Link{From: from, To: to}
+	ls, ok := t.links[key]
+	if !ok {
+		ls = &linkState{}
+		if t.src != nil {
+			ls.src = t.src.Split("link/" + key.String())
+		}
+		t.links[key] = ls
+	}
+	return ls
+}
+
+// Send implements Transport. The entire decision-and-delivery path runs
+// under the transport mutex: mailbox sends are non-blocking, so holding
+// the lock is cheap, and it means Close can never close a channel between
+// a Send's closed-check and its channel send (the old unsynchronized
+// `box <- msg` after unlock could panic against a concurrent Close).
 func (t *ChanTransport) Send(msg Message) error {
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.closed {
-		t.mu.Unlock()
 		return ErrTransportClosed
 	}
-	if t.dead[msg.To] {
-		t.mu.Unlock()
-		return nil // crashed node: message vanishes
-	}
-	box, ok := t.boxes[msg.To]
-	if !ok {
-		t.mu.Unlock()
+	if _, ok := t.boxes[msg.To]; !ok && !t.dead[msg.To] {
 		return fmt.Errorf("protocol: no mailbox for %v", msg.To)
 	}
-	drop := false
-	if t.lossSrc != nil && t.lossProb > 0 {
-		drop = t.lossSrc.Float64() < t.lossProb
+	t.stats.Sent++
+	if t.dead[msg.To] {
+		t.stats.DroppedDead++
+		return nil // crashed node: message vanishes
 	}
-	t.mu.Unlock()
-	if drop {
+	if t.isolated[msg.From] != t.isolated[msg.To] {
+		t.stats.DroppedPartition++
 		return nil
 	}
-	select {
-	case box <- msg:
-	default:
-		// Mailbox overflow behaves as network loss.
+
+	ls := t.link(msg.From, msg.To)
+
+	// Fault-process the new message first, then release held copies whose
+	// reordering window ended with this send — so a released copy arrives
+	// AFTER the newer message, which is what reordering means. Copies held
+	// by this very send start aging at the next one.
+	var newHolds []heldMessage
+	if lost := ls.src != nil && ls.src.Bernoulli(t.lossProbLocked(msg)); lost {
+		t.stats.DroppedLoss++
+	} else {
+		copies := 1
+		if ls.src != nil && ls.src.Bernoulli(t.faults.DupProb) {
+			copies = 2
+			t.stats.Duplicated++
+		}
+		for c := 0; c < copies; c++ {
+			if ls.src != nil && ls.src.Bernoulli(t.faults.DelayProb) {
+				t.stats.Delayed++
+				newHolds = append(newHolds, heldMessage{msg: msg, after: 1 + ls.src.Intn(t.faults.MaxDelay)})
+				continue
+			}
+			t.deliverLocked(msg)
+		}
 	}
+
+	if len(ls.held) > 0 {
+		kept := ls.held[:0]
+		for _, h := range ls.held {
+			h.after--
+			if h.after <= 0 {
+				t.deliverLocked(h.msg)
+				continue
+			}
+			kept = append(kept, h)
+		}
+		ls.held = kept
+	}
+	ls.held = append(ls.held, newHolds...)
 	return nil
 }
 
-// Close implements Transport.
+// lossProbLocked resolves the loss probability for msg's link.
+func (t *ChanTransport) lossProbLocked(msg Message) float64 {
+	if p, ok := t.faults.LinkLoss[Link{From: msg.From, To: msg.To}]; ok {
+		return p
+	}
+	return t.faults.Loss
+}
+
+// deliverLocked places one copy into its destination mailbox, honouring
+// crash state and the KillAfter schedule. Callers hold t.mu.
+func (t *ChanTransport) deliverLocked(msg Message) {
+	if t.dead[msg.To] {
+		t.stats.DroppedDead++
+		return
+	}
+	box := t.boxes[msg.To]
+	select {
+	case box <- msg:
+		t.stats.Delivered++
+		if n, ok := t.killAfter[msg.To]; ok {
+			n--
+			if n <= 0 {
+				t.dead[msg.To] = true
+				delete(t.killAfter, msg.To)
+			} else {
+				t.killAfter[msg.To] = n
+			}
+		}
+	default:
+		// Mailbox overflow behaves as network loss.
+		t.stats.DroppedOverflow++
+	}
+}
+
+// Close implements Transport. Copies still held in delay queues are
+// dropped, as in-flight packets are when a network goes away.
 func (t *ChanTransport) Close() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -119,6 +375,10 @@ func (t *ChanTransport) Close() {
 		return
 	}
 	t.closed = true
+	for _, ls := range t.links {
+		t.stats.DroppedClosed += int64(len(ls.held))
+		ls.held = nil
+	}
 	for _, box := range t.boxes {
 		close(box)
 	}

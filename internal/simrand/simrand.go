@@ -71,6 +71,17 @@ func (s *Source) SplitN(label string, n int) *Source {
 // Float64 returns a uniform float in [0, 1).
 func (s *Source) Float64() float64 { return s.rng.Float64() }
 
+// Bernoulli returns true with probability p. p <= 0 never draws from the
+// stream (and never fires), so a disabled fault knob consumes no
+// randomness; p >= 1 always draws and always fires, keeping stream
+// consumption a pure function of the call sequence for every p > 0.
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return s.rng.Float64() < p
+}
+
 // Intn returns a uniform int in [0, n). It panics if n <= 0, matching
 // math/rand semantics.
 func (s *Source) Intn(n int) int { return s.rng.Intn(n) }

@@ -67,6 +67,35 @@ func TestUniformRange(t *testing.T) {
 	}
 }
 
+func TestBernoulli(t *testing.T) {
+	// p <= 0 must not consume from the stream; p >= 1 must. Two sources
+	// that differ only in disabled draws must stay in lockstep.
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Bernoulli(0) || a.Bernoulli(-1) {
+			t.Fatal("Bernoulli(<=0) fired")
+		}
+		if !a.Bernoulli(1) || !b.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) did not fire")
+		}
+		if av, bv := a.Float64(), b.Float64(); av != bv {
+			t.Fatalf("disabled draws desynced the stream: %v != %v", av, bv)
+		}
+	}
+	// Empirical rate for an interior p.
+	s := New(9)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if rate := float64(hits) / n; math.Abs(rate-0.3) > 0.02 {
+		t.Fatalf("Bernoulli(0.3) rate = %v", rate)
+	}
+}
+
 func TestExponentialMean(t *testing.T) {
 	s := New(5)
 	const rate = 2.0

@@ -26,12 +26,46 @@ type (
 	ProtocolMessage = protocol.Message
 	// ProtocolAddr addresses a protocol participant.
 	ProtocolAddr = protocol.Addr
+	// ProtocolLink is a directed communication edge between participants.
+	ProtocolLink = protocol.Link
+	// FaultConfig tunes the transport's fault model: loss, duplication,
+	// delay/reordering, and per-link loss overrides.
+	FaultConfig = protocol.FaultConfig
+	// TransportStats counts the fault transport's deliveries and drops.
+	TransportStats = protocol.TransportStats
+	// AgentStats counts one agent's protocol-side work, including
+	// deduplicated requests.
+	AgentStats = protocol.AgentStats
+	// ProtocolRoundError is the typed failure of one protocol round.
+	ProtocolRoundError = protocol.RoundError
+)
+
+// ProtocolNoRetries configures ProtocolConfig.Retries for exactly one
+// attempt per request (the zero value means "use the default").
+const ProtocolNoRetries = protocol.NoRetries
+
+// Typed protocol failure sentinels; match with errors.Is.
+var (
+	// ErrProtocolQuorum reports a round with too few replies to proceed.
+	ErrProtocolQuorum = protocol.ErrQuorum
+	// ErrProtocolBudget reports a round that exhausted its RoundBudget.
+	ErrProtocolBudget = protocol.ErrBudgetExceeded
+	// ErrProtocolTransportClosed reports a send on a closed transport.
+	ErrProtocolTransportClosed = protocol.ErrTransportClosed
 )
 
 // NewChanTransport builds the in-process protocol transport; lossProb in
 // [0,1) drops messages using src.
 func NewChanTransport(lossProb float64, src *Rand) (*ChanTransport, error) {
 	return protocol.NewChanTransport(lossProb, src)
+}
+
+// NewFaultTransport builds the in-process transport with the full fault
+// model (loss, duplication, bounded delay with reordering, partitions,
+// crash/restart). All probabilistic faults draw from deterministic
+// per-link child streams of src, so a given seed replays bit-identically.
+func NewFaultTransport(faults FaultConfig, src *Rand) (*ChanTransport, error) {
+	return protocol.NewFaultTransport(faults, src)
 }
 
 // NewProtocolAgent starts the protocol agent for cache i.
