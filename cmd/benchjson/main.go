@@ -134,8 +134,15 @@ func parse(r io.Reader) ([]Bench, error) {
 		a := acc[name]
 		b := Bench{Name: name, Runs: a.runs, Iterations: a.iterations}
 		n := float64(a.runs)
-		for unit, sum := range a.sums {
-			mean := sum / n
+		// Iterate units in sorted order so the emitted JSON (field values
+		// and Extra insertion sequence) never depends on map order.
+		units := make([]string, 0, len(a.sums))
+		for unit := range a.sums {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			mean := a.sums[unit] / n
 			switch unit {
 			case "ns/op":
 				b.NsPerOp = mean

@@ -100,3 +100,44 @@ func TestTrimProcs(t *testing.T) {
 		}
 	}
 }
+
+// TestParseOutputIsIterationOrderIndependent is the regression test for
+// the maporder fix in parse: units are iterated in sorted order, so the
+// serialized output is byte-identical across runs even though the
+// per-unit sums live in a map. Multiple custom units force the Extra
+// map through more than one iteration.
+func TestParseOutputIsIterationOrderIndependent(t *testing.T) {
+	const multiUnit = `BenchmarkSweep-8	10	50 ns/op	7 B/op	1 allocs/op	3 zeta/op	9 alpha/op	5 mid/op
+`
+	var first []byte
+	for i := 0; i < 20; i++ {
+		benches, err := parse(strings.NewReader(multiUnit))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.Marshal(benches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = out
+			continue
+		}
+		if !bytes.Equal(out, first) {
+			t.Fatalf("run %d produced different bytes:\n%s\nvs\n%s", i, out, first)
+		}
+	}
+	var got []Bench
+	if err := json.Unmarshal(first, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0].NsPerOp != 50 || got[0].BytesPerOp != 7 || got[0].AllocsPerOp != 1 {
+		t.Fatalf("standard units misparsed: %+v", got[0])
+	}
+	want := map[string]float64{"zeta/op": 3, "alpha/op": 9, "mid/op": 5}
+	for unit, v := range want {
+		if got[0].Extra[unit] != v {
+			t.Fatalf("extra[%s] = %v, want %v", unit, got[0].Extra[unit], v)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunReportsFixtureViolationsNonzero(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"../../internal/lint/testdata/src/..."}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errBuf.String())
+	}
+	for _, rule := range []string{"detclock", "detrand", "maporder", "lockedsend", "directive"} {
+		if !strings.Contains(out.String(), rule+": ") {
+			t.Errorf("output missing %s findings:\n%s", rule, out.String())
+		}
+	}
+	// file:line:col findings, not bare messages.
+	if !strings.Contains(out.String(), ".go:") {
+		t.Errorf("findings lack file:line positions:\n%s", out.String())
+	}
+}
+
+func TestRunCleanPackageExitsZero(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"../../internal/simrand"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errBuf.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("unexpected findings on clean package:\n%s", out.String())
+	}
+}
+
+func TestRulesFlagPrintsTable(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-rules"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, rule := range []string{"detclock", "detrand", "maporder", "lockedsend"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("rule table missing %s:\n%s", rule, out.String())
+		}
+	}
+}

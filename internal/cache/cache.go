@@ -248,6 +248,7 @@ func (ec *EdgeCache) Invalidate(doc workload.DocID) bool {
 func (ec *EdgeCache) evictOne(nowSec float64) bool {
 	var victim *entry
 	var victimScore float64
+	//ecglint:allow maporder argmin with a total-order tie-break on (score, doc): the victim is order-independent
 	for _, e := range ec.entries {
 		var score float64
 		if ec.cfg.Policy == PolicyLRU {

@@ -389,3 +389,27 @@ func TestUtilityVsLRUDiffer(t *testing.T) {
 		t.Fatal("utility policy should evict the big dynamic doc")
 	}
 }
+
+// TestEvictVictimOrderIndependent pins the determinism contract the
+// //ecglint:allow maporder annotation in evictOne relies on: with tied
+// utility scores, the (score, doc) tie-break picks the same victim no
+// matter which order the entries were inserted in — and therefore no
+// matter how the entry map happens to iterate.
+func TestEvictVictimOrderIndependent(t *testing.T) {
+	for _, order := range [][]int{{1, 2, 3}, {3, 2, 1}, {2, 3, 1}, {3, 1, 2}} {
+		ec := newCache(t, 30)
+		for _, i := range order {
+			if err := ec.Insert(doc(i, 10, 0), 1, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var evicted []workload.DocID
+		ec.SetEvictionHook(func(d workload.DocID) { evicted = append(evicted, d) })
+		if err := ec.Insert(doc(4, 10, 0), 1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if len(evicted) != 1 || evicted[0] != 1 {
+			t.Fatalf("insertion order %v evicted %v, want [1]", order, evicted)
+		}
+	}
+}

@@ -223,6 +223,7 @@ func (m *Maintainer) Start() {
 	m.startOnce.Do(func() {
 		go func() {
 			defer close(m.done)
+			//ecglint:allow detclock the live maintenance loop refreshes on a wall-clock interval; simulated runs call RunOnce directly
 			ticker := time.NewTicker(m.cfg.Interval)
 			defer ticker.Stop()
 			for {

@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"strconv"
+)
+
+// DetRand flags imports of math/rand (and math/rand/v2) anywhere
+// outside internal/simrand. Every stochastic component must own an
+// explicit *simrand.Source derived from the experiment seed via
+// Split/SplitN, so streams are stable and non-overlapping regardless of
+// goroutine scheduling; the global math/rand state (or an ad-hoc
+// rand.New) reintroduces hidden shared state and worker-count-dependent
+// draws.
+type DetRand struct{}
+
+func (DetRand) Name() string { return "detrand" }
+
+func (DetRand) Doc() string {
+	return "no math/rand outside internal/simrand; derive streams with simrand.Split/SplitN"
+}
+
+func (DetRand) Run(pkg *Package) []Finding {
+	if pathTail(pkg.Path) == "simrand" || pkg.Types.Name() == "simrand" {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path != "math/rand" && path != "math/rand/v2" {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:     pkg.Fset.Position(imp.Pos()),
+				Rule:    "detrand",
+				Message: "import of " + path + " outside internal/simrand; derive RNG streams with simrand.Split/SplitN",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+// Package lint implements ecglint, the repo's custom static-analysis
+// suite. The analyzers encode the determinism and concurrency invariants
+// the reproduction depends on — same-seed bit-identical Plan/Report
+// checksums at any parallelism, and schedule-independent protocol
+// counters under fault injection — so that the bug classes we have
+// already shipped and fixed dynamically (wall clock leaking into
+// simulation paths, global math/rand use, map-iteration order feeding
+// accumulators, channel operations while holding a mutex) are caught at
+// build time instead of waiting for a seed to expose them.
+//
+// The suite is built only on go/parser, go/types, and go/importer, so
+// go.mod stays dependency-free. Findings can be suppressed with an
+// explicit, audited directive:
+//
+//	//ecglint:allow <rule> <reason>
+//
+// placed on the offending line, on the line directly above it, or — for
+// findings inside a loop — on the enclosing range statement.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	// Pos locates the offending expression or statement.
+	Pos token.Position
+	// ScopePos, when set, locates an enclosing statement (e.g. the range
+	// statement a maporder finding sits inside). An allow directive at
+	// the scope suppresses every finding of the rule within it.
+	ScopePos token.Position
+	Rule     string
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
+}
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path (module path + relative dir).
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Analyzer is a single lint rule.
+type Analyzer interface {
+	// Name is the rule id used in findings and allow directives.
+	Name() string
+	// Doc is a one-line description for -rules output.
+	Doc() string
+	// Run reports the rule's findings in pkg.
+	Run(pkg *Package) []Finding
+}
+
+// Analyzers returns the full ecglint suite in stable order.
+func Analyzers() []Analyzer {
+	return []Analyzer{
+		DetClock{},
+		DetRand{},
+		MapOrder{},
+		LockedSend{},
+	}
+}
+
+// Run applies every analyzer to every package, filters findings through
+// the //ecglint:allow directives found in the sources, and returns the
+// surviving findings sorted by position. Malformed or unknown-rule
+// directives are themselves reported under the "directive" pseudo-rule.
+func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name()] = true
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		var raw []Finding
+		for _, a := range analyzers {
+			raw = append(raw, a.Run(pkg)...)
+		}
+		dirs, bad := directives(pkg, known)
+		out = append(out, bad...)
+		out = append(out, suppress(raw, dirs)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}

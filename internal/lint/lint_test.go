@@ -1,0 +1,158 @@
+package lint_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"edgecachegroups/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden findings file")
+
+// loadFixtures type-checks the seeded-violation fixture tree.
+func loadFixtures(t *testing.T, patterns ...string) []*lint.Package {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(cwd, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages loaded for %v", patterns)
+	}
+	return pkgs
+}
+
+// render formats findings with paths relative to testdata/src so the
+// golden file is position-stable.
+func render(t *testing.T, findings []lint.Finding) string {
+	t.Helper()
+	base, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, f := range findings {
+		abs, err := filepath.Abs(f.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel, err := filepath.Rel(base, abs); err == nil {
+			f.Pos.Filename = filepath.ToSlash(rel)
+		}
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestFixtureFindingsGolden runs the full suite over every seeded
+// violation and compares against the golden findings file. Regenerate
+// with `go test ./internal/lint -run Golden -update`.
+func TestFixtureFindingsGolden(t *testing.T) {
+	pkgs := loadFixtures(t, "testdata/src/...")
+	got := render(t, lint.Run(pkgs, lint.Analyzers()))
+
+	golden := filepath.Join("testdata", "findings.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("findings diverge from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestAllowSuppressesExactlyOneFinding pins the directive's scope: of
+// two identical violations on consecutive statements, the annotated
+// one disappears and the other is still reported.
+func TestAllowSuppressesExactlyOneFinding(t *testing.T) {
+	pkgs := loadFixtures(t, "testdata/src/allowonce")
+	findings := lint.Run(pkgs, lint.Analyzers())
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly 1:\n%s", len(findings), render(t, findings))
+	}
+	f := findings[0]
+	if f.Rule != "detclock" || !strings.HasSuffix(f.Pos.Filename, "allowonce.go") {
+		t.Fatalf("unexpected finding %s", f)
+	}
+	// The annotated call sits on line 12; the surviving twin on line 13.
+	if f.Pos.Line != 13 {
+		t.Fatalf("surviving finding on line %d, want 13 (the unannotated twin)", f.Pos.Line)
+	}
+}
+
+// TestMalformedDirectivesAreFindings keeps directive hygiene honest: a
+// typo'd allow must surface, not silently suppress nothing.
+func TestMalformedDirectivesAreFindings(t *testing.T) {
+	pkgs := loadFixtures(t, "testdata/src/badallow")
+	findings := lint.Run(pkgs, lint.Analyzers())
+	if len(findings) != 3 {
+		t.Fatalf("got %d directive findings, want 3:\n%s", len(findings), render(t, findings))
+	}
+	for _, f := range findings {
+		if f.Rule != "directive" {
+			t.Fatalf("unexpected rule %q in %s", f.Rule, f)
+		}
+	}
+}
+
+// TestRepoIsLintClean runs the suite over the real module, so `go test`
+// itself enforces the static invariants: a new wall-clock call, global
+// math/rand import, order-dependent map range, or locked channel
+// operation anywhere in the tree fails this test with its file:line.
+func TestRepoIsLintClean(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Join(cwd, "..", "..")
+	pkgs, err := lint.Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("loaded only %d packages; the walk lost most of the module", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if strings.Contains(pkg.Path, "testdata") {
+			t.Fatalf("recursive walk descended into testdata: %s", pkg.Path)
+		}
+	}
+	findings := lint.Run(pkgs, lint.Analyzers())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestAnalyzerMetadata keeps every rule addressable from an allow
+// directive and documented for -rules output.
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range lint.Analyzers() {
+		name := a.Name()
+		if name == "" || a.Doc() == "" {
+			t.Fatalf("analyzer %T missing name or doc", a)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate rule name %q", name)
+		}
+		seen[name] = true
+	}
+	for _, want := range []string{"detclock", "detrand", "maporder", "lockedsend"} {
+		if !seen[want] {
+			t.Fatalf("suite is missing required rule %q", want)
+		}
+	}
+}

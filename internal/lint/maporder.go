@@ -1,0 +1,343 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags statements inside a `range` over a map whose effect
+// depends on Go's randomized iteration order. Three shapes are caught:
+//
+//   - appending to a slice declared outside the loop, unless the slice
+//     is passed to a sort.* / slices.* call later in the same function
+//     (the collect-keys-then-sort idiom);
+//   - compound accumulation (+=, -=, *=, /=) of a float or string into
+//     an outer target — float addition is not associative and string
+//     concatenation is not commutative, so even "sum over all entries"
+//     differs between orders;
+//   - plain assignment to outer state (a variable, struct field, or
+//     loop-invariant index) whose value derives from the loop — the
+//     classic last-writer-wins / argmax-with-ties nondeterminism.
+//
+// Keyed writes (out[k] = v, sizes[g] = len(members)) are deterministic
+// regardless of order and are not flagged. Findings carry the range
+// statement as their scope, so one //ecglint:allow maporder directive
+// on the loop covers every finding inside it.
+type MapOrder struct{}
+
+func (MapOrder) Name() string { return "maporder" }
+
+func (MapOrder) Doc() string {
+	return "no order-dependent appends/accumulation/writes inside range over a map"
+}
+
+func (MapOrder) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapRange(pkg, rs) {
+					return true
+				}
+				out = append(out, checkMapRange(pkg, fd.Body, rs)...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isMapRange reports whether rs iterates a map.
+func isMapRange(pkg *Package, rs *ast.RangeStmt) bool {
+	tv, ok := pkg.Info.Types[rs.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange analyzes one map-range body. fnBody is the enclosing
+// function body, used to look for sorts after the loop.
+func checkMapRange(pkg *Package, fnBody *ast.BlockStmt, rs *ast.RangeStmt) []Finding {
+	scope := pkg.Fset.Position(rs.Pos())
+	state := loopState(pkg, rs)
+	tainted := func(e ast.Expr) bool { return refersTo(pkg, e, state) }
+
+	var out []Finding
+	report := func(n ast.Node, msg string) {
+		out = append(out, Finding{
+			Pos:      pkg.Fset.Position(n.Pos()),
+			ScopePos: scope,
+			Rule:     "maporder",
+			Message:  msg,
+		})
+	}
+
+	walkSkippingFuncLits(rs.Body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			obj := outerTarget(pkg, rs, lhs)
+			if obj == nil {
+				continue
+			}
+			var rhs ast.Expr
+			if i < len(as.Rhs) {
+				rhs = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				rhs = as.Rhs[0] // multi-value form x, y = f()
+			}
+			switch as.Tok {
+			case token.ASSIGN:
+				if rhs != nil && isAppendTo(pkg, rhs, obj) {
+					if !sortedAfter(pkg, fnBody, rs, obj) {
+						report(as, "append to "+obj.Name()+" inside range over map without a later sort; sort it or iterate sorted keys")
+					}
+					continue
+				}
+				checkPlainAssign(pkg, rs, as, lhs, rhs, obj, tainted, report)
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if keyedIndex(pkg, lhs, state) {
+					continue // acc[k] += v accumulates per key: deterministic
+				}
+				if t := pkg.Info.TypeOf(lhs); isOrderSensitive(t) {
+					report(as, "order-dependent accumulation into "+obj.Name()+" ("+t.String()+") inside range over map; iterate sorted keys")
+				}
+			}
+		}
+	})
+	return out
+}
+
+// checkPlainAssign handles `=` writes to outer state.
+func checkPlainAssign(pkg *Package, rs *ast.RangeStmt, as *ast.AssignStmt, lhs, rhs ast.Expr, obj types.Object, tainted func(ast.Expr) bool, report func(ast.Node, string)) {
+	if rhs == nil {
+		return
+	}
+	switch l := unparen(lhs).(type) {
+	case *ast.Ident:
+		if refersTo(pkg, rhs, map[types.Object]bool{obj: true}) {
+			// Accumulation spelled out: x = x + e. Only non-associative
+			// element types are order-dependent.
+			if t := pkg.Info.TypeOf(lhs); isOrderSensitive(t) {
+				report(as, "order-dependent accumulation into "+obj.Name()+" inside range over map; iterate sorted keys")
+			}
+			return
+		}
+		if tainted(rhs) {
+			report(as, "iteration-order-dependent write to "+obj.Name()+" inside range over map (last writer wins); iterate sorted keys")
+		}
+	case *ast.SelectorExpr:
+		if tainted(rhs) {
+			report(as, "write to outer field "+types.ExprString(l)+" inside range over map depends on iteration order; iterate sorted keys")
+		}
+	case *ast.IndexExpr:
+		if tainted(l.Index) {
+			return // keyed write: out[k] = ... is deterministic
+		}
+		if tainted(rhs) {
+			report(as, "write to "+types.ExprString(l)+" with loop-invariant index inside range over map (last writer wins); iterate sorted keys")
+		}
+	case *ast.StarExpr:
+		if tainted(rhs) {
+			report(as, "write through outer pointer "+types.ExprString(l)+" inside range over map depends on iteration order; iterate sorted keys")
+		}
+	}
+}
+
+// loopState collects the objects whose values vary with the iteration:
+// the range key/value variables plus everything declared inside the
+// loop body (a body-local is conservatively assumed key-derived).
+func loopState(pkg *Package, rs *ast.RangeStmt) map[types.Object]bool {
+	state := make(map[types.Object]bool)
+	addIdent := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			state[obj] = true
+		} else if obj := pkg.Info.Uses[id]; obj != nil {
+			state[obj] = true
+		}
+	}
+	if rs.Key != nil {
+		addIdent(rs.Key)
+	}
+	if rs.Value != nil {
+		addIdent(rs.Value)
+	}
+	walkSkippingFuncLits(rs.Body, func(n ast.Node) {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				state[obj] = true
+			}
+		}
+	})
+	return state
+}
+
+// outerTarget resolves lhs to the root object it writes through and
+// returns it when that object is declared outside the range statement;
+// writes to loop-local state cannot leak iteration order.
+func outerTarget(pkg *Package, rs *ast.RangeStmt, lhs ast.Expr) types.Object {
+	id := rootIdent(lhs)
+	if id == nil || id.Name == "_" {
+		return nil
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	if obj == nil || obj.Pos() == token.NoPos {
+		return nil
+	}
+	if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+		return nil // declared by or inside the loop
+	}
+	return obj
+}
+
+// rootIdent unwraps selectors, indexes, stars, and parens down to the
+// base identifier being written through.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isAppendTo reports whether rhs is append(target, ...) growing obj.
+func isAppendTo(pkg *Package, rhs ast.Expr, obj types.Object) bool {
+	call, ok := unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if b, ok := pkg.Info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	first := rootIdent(call.Args[0])
+	return first != nil && (pkg.Info.Uses[first] == obj || pkg.Info.Defs[first] == obj)
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.*
+// call positioned after the range statement in the same function body —
+// the collect-then-sort idiom that makes the append order irrelevant.
+func sortedAfter(pkg *Package, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !isPackage(pkg, sel.X, "sort") && !isPackage(pkg, sel.X, "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if refersTo(pkg, arg, map[types.Object]bool{obj: true}) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// keyedIndex reports whether lhs is an index expression whose index
+// derives from the loop state (out[k], acc[key.Field], ...).
+func keyedIndex(pkg *Package, lhs ast.Expr, state map[types.Object]bool) bool {
+	ix, ok := unparen(lhs).(*ast.IndexExpr)
+	return ok && refersTo(pkg, ix.Index, state)
+}
+
+// isOrderSensitive reports whether repeated accumulation over t is
+// sensitive to operand order: floats (non-associative rounding),
+// complexes, and strings (concatenation).
+func isOrderSensitive(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex|types.IsString) != 0
+}
+
+// refersTo reports whether expr mentions any object in set.
+func refersTo(pkg *Package, expr ast.Expr, set map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pkg.Info.Uses[id]; obj != nil && set[obj] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// walkSkippingFuncLits visits every node under root except function
+// literal bodies, whose execution context (goroutine, defer, callback)
+// is not the loop's.
+func walkSkippingFuncLits(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

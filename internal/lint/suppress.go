@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+const allowPrefix = "//ecglint:allow"
+
+// directive is one parsed //ecglint:allow comment.
+type directive struct {
+	file string
+	line int
+	rule string
+}
+
+// directives scans pkg's comments for allow directives. Malformed
+// directives (missing rule or reason) and directives naming a rule no
+// analyzer implements are returned as findings under the "directive"
+// pseudo-rule, so a typo cannot silently disable nothing.
+func directives(pkg *Package, known map[string]bool) ([]directive, []Finding) {
+	var dirs []directive
+	var bad []Finding
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue // not a directive (e.g. //ecglint:allowlist prose)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Finding{Pos: pos, Rule: "directive",
+						Message: "ecglint:allow needs a rule name and a reason"})
+				case len(fields) == 1:
+					bad = append(bad, Finding{Pos: pos, Rule: "directive",
+						Message: "ecglint:allow " + fields[0] + " needs a reason"})
+				case !known[fields[0]]:
+					bad = append(bad, Finding{Pos: pos, Rule: "directive",
+						Message: "unknown rule " + fields[0] + " in ecglint:allow"})
+				default:
+					dirs = append(dirs, directive{file: pos.Filename, line: pos.Line, rule: fields[0]})
+				}
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// suppress drops findings covered by a directive. A directive covers a
+// finding of its rule when it sits on the finding's line, on the line
+// directly above it, or in the same positions relative to the finding's
+// scope statement (the enclosing range loop for maporder). Each
+// directive names exactly one rule; a line with two different
+// violations needs two directives.
+func suppress(findings []Finding, dirs []directive) []Finding {
+	if len(dirs) == 0 {
+		return findings
+	}
+	covered := make(map[string]bool, len(dirs)*2)
+	key := func(file string, line int, rule string) string {
+		return file + "\x00" + rule + "\x00" + strconv.Itoa(line)
+	}
+	for _, d := range dirs {
+		covered[key(d.file, d.line, d.rule)] = true
+		covered[key(d.file, d.line+1, d.rule)] = true
+	}
+	matches := func(pos token.Position, rule string) bool {
+		return pos.IsValid() && covered[key(pos.Filename, pos.Line, rule)]
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		if matches(f.Pos, f.Rule) || matches(f.ScopePos, f.Rule) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}

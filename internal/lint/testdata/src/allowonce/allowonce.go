@@ -1,0 +1,15 @@
+// Package netsim (allowonce fixture) holds two identical detclock
+// violations; the directive above the first must suppress exactly that
+// one, leaving the second reported.
+package netsim
+
+import "time"
+
+// AllowedOnce pairs an annotated wall-clock read with an unannotated
+// twin on the next statement.
+func AllowedOnce() (a, b time.Time) {
+	//ecglint:allow detclock fixture: this specific call is sanctioned
+	a = time.Now()
+	b = time.Now()
+	return a, b
+}

@@ -1,0 +1,13 @@
+// Package badallow is a fixture for directive hygiene: malformed or
+// unknown-rule allow comments are findings themselves, so a typo can
+// never silently suppress nothing.
+package badallow
+
+//ecglint:allow
+
+//ecglint:allow detclock
+
+//ecglint:allow nosuchrule because reasons
+
+// Placeholder keeps the package non-empty.
+func Placeholder() {}

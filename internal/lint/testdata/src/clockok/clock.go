@@ -1,0 +1,10 @@
+// Package clockok is a negative fixture: it is not a simulation
+// package, so its wall-clock reads are outside detclock's scope.
+package clockok
+
+import "time"
+
+// Uptime may read the wall clock freely here.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,27 @@
+// Package netsim is a seeded-violation fixture for the detclock rule:
+// the package name matches a simulation package, so every wall-clock
+// call below must be reported unless annotated.
+package netsim
+
+import "time"
+
+// Stamp reads the wall clock: finding.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Elapsed measures real elapsed time: finding.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Nap sleeps on the host clock: finding.
+func Nap() {
+	time.Sleep(time.Millisecond)
+}
+
+// Budget is the sanctioned shape: an explicit allow with a reason.
+func Budget() time.Time {
+	//ecglint:allow detclock fixture: sanctioned wall-clock path
+	return time.Now().Add(time.Second)
+}

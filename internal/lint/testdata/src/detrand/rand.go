@@ -1,0 +1,24 @@
+// Package workload is a seeded-violation fixture for the detrand rule:
+// both math/rand generations are imported outside internal/simrand.
+package workload
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// Draw uses the global math/rand stream: the import is the finding.
+func Draw() int {
+	return rand.Int()
+}
+
+// DrawV2 uses math/rand/v2: its import is a finding too.
+func DrawV2() uint64 {
+	return randv2.Uint64()
+}
+
+// AdHoc builds a private generator instead of splitting a simrand
+// stream; the shared import finding covers this shape as well.
+func AdHoc(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

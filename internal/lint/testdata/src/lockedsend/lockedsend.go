@@ -1,0 +1,74 @@
+// Package lockedsend is a seeded-violation fixture for the lockedsend
+// rule: blocking channel operations under a mutex (the PR-4 race
+// class) alongside the sanctioned non-blocking and unlock-first
+// shapes.
+package lockedsend
+
+import "sync"
+
+// Box pairs a mutex with a channel, the shape the rule watches.
+type Box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+}
+
+// SendLocked blocks on a send while holding the mutex: finding.
+func (b *Box) SendLocked(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- v
+}
+
+// CloseLocked closes under the lock without an audit note: finding.
+func (b *Box) CloseLocked() {
+	b.mu.Lock()
+	close(b.ch)
+	b.mu.Unlock()
+}
+
+// SendAfterUnlock releases first: clean.
+func (b *Box) SendAfterUnlock(v int) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.ch <- v
+}
+
+// NonBlocking is the sanctioned select-with-default delivery: clean.
+func (b *Box) NonBlocking(v int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// RecvLocked blocks on a receive under a read lock: finding.
+func (b *Box) RecvLocked() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return <-b.ch
+}
+
+// WaitLocked parks on a WaitGroup while holding the mutex: finding.
+func (b *Box) WaitLocked(wg *sync.WaitGroup) {
+	b.mu.Lock()
+	wg.Wait()
+	b.mu.Unlock()
+}
+
+// BlockingSelect has no default clause, so it can park while holding
+// the mutex: one finding on the select itself.
+func (b *Box) BlockingSelect(other chan int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case v := <-b.ch:
+		return v
+	case v := <-other:
+		return v
+	}
+}

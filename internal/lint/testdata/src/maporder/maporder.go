@@ -1,0 +1,93 @@
+// Package maporder is a seeded-violation fixture for the maporder
+// rule: order-dependent map-range bodies alongside the sanctioned
+// sorted and keyed shapes.
+package maporder
+
+import "sort"
+
+// KeysUnsorted appends inside a map range and never sorts: finding.
+func KeysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// KeysSorted is the collect-then-sort idiom: clean.
+func KeysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SumFloats accumulates floats in map order: finding (float addition is
+// not associative).
+func SumFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// SumInts is commutative and associative: clean.
+func SumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// JoinStrings concatenates in map order: finding.
+func JoinStrings(m map[string]string) string {
+	var all string
+	for _, v := range m {
+		all += v
+	}
+	return all
+}
+
+// LastWriter leaks iteration order through an outer variable: finding.
+func LastWriter(m map[string]int) string {
+	var best string
+	for k := range m {
+		best = k
+	}
+	return best
+}
+
+type result struct {
+	Max   float64
+	ByKey map[string]float64
+}
+
+// FieldWrite stores a loop-derived value in an outer struct field:
+// finding.
+func FieldWrite(m map[string]float64, out *result) {
+	for _, v := range m {
+		out.Max = v
+	}
+}
+
+// KeyedWrites are deterministic regardless of order: clean.
+func KeyedWrites(m map[string]float64, out *result) {
+	for k, v := range m {
+		out.ByKey[k] = v
+	}
+}
+
+// LoopAllowed demonstrates a loop-level directive: one annotation on
+// the range statement covers both writes in the body.
+func LoopAllowed(m map[string]float64) (hi, lo float64) {
+	//ecglint:allow maporder fixture: loop-level allow covers the whole body
+	for _, v := range m {
+		hi = v
+		lo = v
+	}
+	return hi, lo
+}

@@ -386,6 +386,7 @@ func (c *Coordinator) backoff(attempt int, budgetEnd time.Time) bool {
 		if budgetEnd.IsZero() {
 			return true
 		}
+		//ecglint:allow detclock RoundBudget bounds a round by real elapsed time; wall clock is the point
 		return time.Now().Before(budgetEnd)
 	}
 	exp := attempt - 1
@@ -398,6 +399,7 @@ func (c *Coordinator) backoff(attempt int, budgetEnd time.Time) bool {
 	}
 	d = time.Duration(float64(d) * (0.5 + c.backoffSrc.Float64()))
 	if !budgetEnd.IsZero() {
+		//ecglint:allow detclock clamping the backoff to the RoundBudget's wall-clock remainder
 		remaining := time.Until(budgetEnd)
 		if remaining <= 0 {
 			return false
@@ -406,6 +408,7 @@ func (c *Coordinator) backoff(attempt int, budgetEnd time.Time) bool {
 			d = remaining
 		}
 	}
+	//ecglint:allow detclock retry backoff is a real delay against real transports; only the jitter draw feeds determinism and it comes from backoffSrc
 	time.Sleep(d)
 	return true
 }
@@ -416,6 +419,7 @@ func (c *Coordinator) budgetEnd() time.Time {
 	if c.cfg.RoundBudget <= 0 {
 		return time.Time{}
 	}
+	//ecglint:allow detclock RoundBudget anchors the round deadline to the wall clock by design
 	return time.Now().Add(c.cfg.RoundBudget)
 }
 
@@ -426,6 +430,7 @@ func (c *Coordinator) waitWindow(budgetEnd time.Time) (time.Duration, bool) {
 	if budgetEnd.IsZero() {
 		return wait, true
 	}
+	//ecglint:allow detclock the reply window is clamped to the RoundBudget's wall-clock remainder
 	remaining := time.Until(budgetEnd)
 	if remaining <= 0 {
 		return 0, false
@@ -483,6 +488,7 @@ func (c *Coordinator) requestRound(name string, peers []topology.CacheIndex, tar
 			out.budgetExceeded = true
 			break
 		}
+		//ecglint:allow detclock reply timeout against a real transport; bounded by RoundBudget
 		deadline := time.After(wait)
 	wait:
 		for len(pending) > 0 {
@@ -662,6 +668,7 @@ func (c *Coordinator) assignRound(res *Result) []topology.CacheIndex {
 		if !ok {
 			break
 		}
+		//ecglint:allow detclock assign-ack timeout against a real transport; bounded by RoundBudget
 		deadline := time.After(wait)
 	wait:
 		for len(pending) > 0 {

@@ -11,6 +11,17 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> gofmt drift"
+drift=$(gofmt -l .)
+if [ -n "$drift" ]; then
+	echo "unformatted files:" >&2
+	echo "$drift" >&2
+	exit 1
+fi
+
+echo "==> ecglint ./..."
+go run ./cmd/ecglint ./...
+
 echo "==> go test -race ./..."
 go test -race "$@" ./...
 
