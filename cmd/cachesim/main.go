@@ -45,6 +45,7 @@ func run(args []string, w io.Writer) error {
 		warmup   = fs.Float64("warmup", 0, "seconds of warm-up excluded from latency stats")
 		policy   = fs.String("policy", "utility", "cache replacement policy: utility or lru")
 		beacons  = fs.Int("beacons", 0, "beacon points per group (0 = multicast cooperation model)")
+		shards   = fs.Int("shards", 0, "group-partitioned simulator shards run concurrently (0 = serial; results are identical for any value)")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -119,6 +120,7 @@ func run(args []string, w io.Writer) error {
 	simCfg := ecg.DefaultSimConfig()
 	simCfg.WarmupSec = *warmup
 	simCfg.BeaconsPerGroup = *beacons
+	simCfg.Shards = *shards
 	switch strings.ToLower(*policy) {
 	case "utility":
 		simCfg.CachePolicy = ecg.PolicyUtility

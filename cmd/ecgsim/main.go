@@ -42,6 +42,7 @@ func run(args []string, w io.Writer) error {
 		trials   = fs.Int("trials", 1, "number of seeds to average over")
 		parallel = fs.Int("parallel", 4, "sweep-point parallelism")
 		pipePar  = fs.Int("pipeline-parallelism", 0, "worker-pool bound inside each formation pipeline (0 = per-layer defaults; results are identical for any value)")
+		shards   = fs.Int("shards", 0, "group-partitioned simulator shards run concurrently (0 = serial; results are identical for any value)")
 		verified = fs.Bool("verify", true, "audit every plan and report against the invariant-checking layer")
 		quiet    = fs.Bool("q", false, "suppress progress output")
 		outPath  = fs.String("out", "", "also append rendered tables to this file")
@@ -50,7 +51,7 @@ func run(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := experiments.Options{Seed: *seed, Scale: *scale, Parallelism: *parallel, PipelineParallelism: *pipePar, Trials: *trials, NoVerify: !*verified}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Parallelism: *parallel, PipelineParallelism: *pipePar, SimShards: *shards, Trials: *trials, NoVerify: !*verified}
 	if err := opts.Validate(); err != nil {
 		return err
 	}

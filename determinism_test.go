@@ -106,35 +106,7 @@ func TestPlanChecksumPipelineParallelismInvariant(t *testing.T) {
 func TestReportChecksumGolden(t *testing.T) {
 	runSim := func(t *testing.T, seed int64) *ecg.Report {
 		t.Helper()
-		plan, nw := formPlan(t, seed, ecg.SDSL(8, 2, 1.0), 6)
-		src := ecg.NewRand(seed + 1000)
-		catalog, err := ecg.NewCatalog(ecg.DefaultCatalogParams(), src.Split("catalog"))
-		if err != nil {
-			t.Fatal(err)
-		}
-		tp := ecg.TraceParams{DurationSec: 40, RequestRatePerCache: 1, Similarity: 0.8}
-		reqs, err := ecg.GenerateRequests(catalog, 60, tp, src.Split("reqs"))
-		if err != nil {
-			t.Fatal(err)
-		}
-		ups, err := ecg.GenerateUpdates(catalog, 40, src.Split("ups"))
-		if err != nil {
-			t.Fatal(err)
-		}
-		simCfg := ecg.DefaultSimConfig()
-		simCfg.Verify = true
-		sim, err := ecg.NewSimulator(nw, plan.Groups(), catalog, simCfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		rep, err := sim.Run(reqs, ups)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := ecg.VerifyReport(rep, reqs, ups); err != nil {
-			t.Fatalf("report fails verification: %v", err)
-		}
-		return rep
+		return runSimSharded(t, seed, 0)
 	}
 	r1 := runSim(t, 55)
 	r2 := runSim(t, 55)
@@ -144,5 +116,55 @@ func TestReportChecksumGolden(t *testing.T) {
 	r3 := runSim(t, 56)
 	if r1.Checksum() == r3.Checksum() {
 		t.Fatalf("different seeds collide on report checksum %016x", r1.Checksum())
+	}
+}
+
+// runSimSharded runs the full pipeline plus a simulation for one seed with
+// the given simulator shard count, with verification enabled end to end.
+func runSimSharded(t *testing.T, seed int64, shards int) *ecg.Report {
+	t.Helper()
+	plan, nw := formPlan(t, seed, ecg.SDSL(8, 2, 1.0), 6)
+	src := ecg.NewRand(seed + 1000)
+	catalog, err := ecg.NewCatalog(ecg.DefaultCatalogParams(), src.Split("catalog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := ecg.TraceParams{DurationSec: 40, RequestRatePerCache: 1, Similarity: 0.8}
+	reqs, err := ecg.GenerateRequests(catalog, 60, tp, src.Split("reqs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups, err := ecg.GenerateUpdates(catalog, 40, src.Split("ups"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCfg := ecg.DefaultSimConfig()
+	simCfg.Verify = true
+	simCfg.Shards = shards
+	sim, err := ecg.NewSimulator(nw, plan.Groups(), catalog, simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(reqs, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ecg.VerifyReport(rep, reqs, ups); err != nil {
+		t.Fatalf("report fails verification: %v", err)
+	}
+	return rep
+}
+
+// TestReportChecksumShardInvariant pins the sharded simulator's determinism
+// contract end to end through the public facade: the Report checksum must
+// be bit-identical across Shards ∈ {1, 2, 4, 8} (and the plan feeding it
+// must not change either).
+func TestReportChecksumShardInvariant(t *testing.T) {
+	base := runSimSharded(t, 55, 1)
+	for _, shards := range []int{2, 4, 8} {
+		rep := runSimSharded(t, 55, shards)
+		if got, want := rep.Checksum(), base.Checksum(); got != want {
+			t.Fatalf("Shards=%d report checksum %016x != serial %016x", shards, got, want)
+		}
 	}
 }

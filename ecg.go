@@ -252,7 +252,10 @@ type (
 	Report = netsim.Report
 )
 
-// DefaultSimConfig returns the latency model used by the experiments.
+// DefaultSimConfig returns the latency model used by the experiments. Set
+// SimConfig.Shards to run the simulator's group-partitioned shards
+// concurrently; the Report (and its Checksum) is bit-identical to the
+// serial run at any shard count.
 func DefaultSimConfig() SimConfig { return netsim.DefaultConfig() }
 
 // NewSimulator builds a simulator for a group partition.

@@ -147,8 +147,9 @@ func New(cfg Config) (*EdgeCache, error) {
 }
 
 // SetEvictionHook registers fn to be called whenever a document leaves the
-// cache for any reason other than an explicit Drop by the owner of the
-// hook.
+// cache — a capacity eviction, a stale copy dropped during Lookup, or an
+// Invalidate. Re-Inserting a document the cache already holds replaces the
+// old copy silently, without firing the hook.
 func (ec *EdgeCache) SetEvictionHook(fn func(workload.DocID)) { ec.onEvict = fn }
 
 // Stats returns a copy of the counters.

@@ -37,6 +37,10 @@ type Options struct {
 	// per-layer defaults. Results are invariant to this knob — it only
 	// changes wall-clock time.
 	PipelineParallelism int
+	// SimShards sets netsim.Config.Shards for every simulation run: the
+	// number of group-partitioned simulator shards executed concurrently.
+	// Like PipelineParallelism, results are invariant to this knob.
+	SimShards int
 	// Trials averages stochastic experiments over this many seeds; 0 means
 	// the default (1 at full scale).
 	Trials int
@@ -62,6 +66,9 @@ func (o Options) Validate() error {
 	}
 	if o.PipelineParallelism < 0 {
 		return fmt.Errorf("experiments: PipelineParallelism must be >= 0, got %d", o.PipelineParallelism)
+	}
+	if o.SimShards < 0 {
+		return fmt.Errorf("experiments: SimShards must be >= 0, got %d", o.SimShards)
 	}
 	if o.Trials < 0 {
 		return fmt.Errorf("experiments: Trials must be >= 0, got %d", o.Trials)
@@ -131,6 +138,7 @@ func newEnv(numCaches int, o Options, seed int64, withTraces bool) (*env, error)
 	}
 	e := &env{nw: nw, prober: prober, simCfg: netsim.DefaultConfig(), verify: !o.NoVerify, pipelinePar: o.PipelineParallelism}
 	e.simCfg.Verify = e.verify
+	e.simCfg.Shards = o.SimShards
 	if !withTraces {
 		return e, nil
 	}

@@ -142,7 +142,10 @@ func (r *Report) MeanLatencyOf(subset []topology.CacheIndex) float64 {
 		if st.Count() == 0 {
 			continue
 		}
-		sum += st.Mean() * float64(st.Count())
+		// Use the exact running sum; reconstructing it as Mean()*Count()
+		// round-trips through a division and drifts from the recorded
+		// total.
+		sum += st.Sum()
 		count += int64(st.Count())
 	}
 	if count == 0 {

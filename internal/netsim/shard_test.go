@@ -1,0 +1,272 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"edgecachegroups/internal/simrand"
+	"edgecachegroups/internal/topology"
+	"edgecachegroups/internal/workload"
+)
+
+// realisticWorkload builds a 60-cache transit-stub network with generated
+// request/update logs and 6 index-dealt groups — enough groups, fetch
+// completions, and cross-window updates to exercise every sharding path.
+func realisticWorkload(t *testing.T, seed int64) (*topology.Network, *workload.Catalog, [][]topology.CacheIndex, []workload.Request, []workload.Update) {
+	t.Helper()
+	g, err := topology.GenerateTransitStub(topology.DefaultTransitStubParams(), simrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := topology.NewNetwork(g, topology.PlaceParams{NumCaches: 60}, simrand.New(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := workload.NewCatalog(workload.DefaultCatalogParams(), simrand.New(seed+2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := workload.TraceParams{DurationSec: 120, RequestRatePerCache: 1, Similarity: 0.8}
+	reqs, err := workload.GenerateRequests(cat, 60, tp, simrand.New(seed+3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups, err := workload.GenerateUpdates(cat, 120, simrand.New(seed+4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := make([][]topology.CacheIndex, 6)
+	for i := 0; i < 60; i++ {
+		groups[i%6] = append(groups[i%6], topology.CacheIndex(i))
+	}
+	return nw, cat, groups, reqs, ups
+}
+
+// TestShardCountChecksumInvariant pins the sharding contract: the merged
+// Report must be bit-identical to the serial run at any shard count, across
+// every simulator mode (plain, push invalidation, warmup plus failures,
+// beacon cooperation).
+func TestShardCountChecksumInvariant(t *testing.T) {
+	nw, cat, groups, reqs, ups := realisticWorkload(t, 200)
+	variants := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"default", func(*Config) {}},
+		{"push-invalidation", func(c *Config) { c.PushInvalidation = true }},
+		{"warmup-failures", func(c *Config) {
+			c.WarmupSec = 30
+			c.FailedCaches = []topology.CacheIndex{3, 17, 41}
+		}},
+		{"beacons", func(c *Config) { c.BeaconsPerGroup = 2 }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			run := func(shards int) *Report {
+				cfg := DefaultConfig()
+				cfg.Verify = true
+				v.mutate(&cfg)
+				cfg.Shards = shards
+				sim, err := New(nw, groups, cat, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := sim.Run(reqs, ups)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			}
+			base := run(1)
+			for _, n := range []int{2, 4, 8} {
+				rep := run(n)
+				if got, want := rep.Checksum(), base.Checksum(); got != want {
+					t.Fatalf("Shards=%d checksum %016x != serial %016x", n, got, want)
+				}
+				if rep.MeanLatency() != base.MeanLatency() {
+					t.Fatalf("Shards=%d mean latency %v != serial %v", n, rep.MeanLatency(), base.MeanLatency())
+				}
+				if rep.OriginKB != base.OriginKB {
+					t.Fatalf("Shards=%d OriginKB %v != serial %v", n, rep.OriginKB, base.OriginKB)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedTraceOrderMatchesSerial: TraceFn must observe the exact serial
+// trace stream — same order, same fields — regardless of shard count.
+func TestShardedTraceOrderMatchesSerial(t *testing.T) {
+	nw, cat, groups, reqs, ups := realisticWorkload(t, 210)
+	collect := func(shards int) []RequestTrace {
+		var traces []RequestTrace
+		cfg := DefaultConfig()
+		cfg.Shards = shards
+		cfg.TraceFn = func(tr RequestTrace) { traces = append(traces, tr) }
+		sim, err := New(nw, groups, cat, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Run(reqs, ups); err != nil {
+			t.Fatal(err)
+		}
+		return traces
+	}
+	serial := collect(1)
+	sharded := collect(4)
+	if len(serial) != len(sharded) {
+		t.Fatalf("trace counts differ: serial %d, sharded %d", len(serial), len(sharded))
+	}
+	if len(serial) == 0 {
+		t.Fatal("no traces recorded")
+	}
+	for i := range serial {
+		if serial[i] != sharded[i] {
+			t.Fatalf("trace %d differs:\nserial  %+v\nsharded %+v", i, serial[i], sharded[i])
+		}
+	}
+}
+
+// TestShardHammer re-runs a sharded simulation repeatedly so the race
+// detector sees the window fan-out many times, and checks the checksum
+// never wavers between repetitions.
+func TestShardHammer(t *testing.T) {
+	nw, cat, groups, reqs, ups := realisticWorkload(t, 300)
+	run := func() uint64 {
+		cfg := DefaultConfig()
+		cfg.PushInvalidation = true
+		cfg.Shards = 8
+		sim, err := New(nw, groups, cat, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sim.Run(reqs, ups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Checksum()
+	}
+	first := run()
+	for trial := 1; trial < 3; trial++ {
+		if got := run(); got != first {
+			t.Fatalf("trial %d checksum %016x != first %016x", trial, got, first)
+		}
+	}
+}
+
+func TestShardsConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = -1
+	if err := cfg.Validate(10); err == nil || !strings.Contains(err.Error(), "Shards") {
+		t.Fatalf("negative Shards not rejected: %v", err)
+	}
+}
+
+// TestShardStagesRecorded: a sharded run must expose per-shard event
+// counts, the window count, and the shard parallelism in Stages.
+func TestShardStagesRecorded(t *testing.T) {
+	nw := lineNetwork(t)
+	cat := fixedCatalog(t, 3)
+	cfg := exactConfig()
+	cfg.Shards = 8 // clamps to the 2 singleton groups
+	sim, err := New(nw, singletons(), cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []workload.Request{req(1, 0, 0), req(2, 1, 1), req(3, 0, 2)}
+	ups := []workload.Update{{TimeSec: 2.5, Doc: 0}}
+	if _, err := sim.Run(reqs, ups); err != nil {
+		t.Fatal(err)
+	}
+	stats := make(map[string]int64)
+	par := 0
+	for _, st := range sim.Stages().Snapshot() {
+		stats[st.Name] = st.Items
+		if st.Name == "simulate" {
+			par = st.Parallelism
+		}
+	}
+	if par != 2 {
+		t.Fatalf("simulate parallelism = %d, want 2 (Shards clamped to groups)", par)
+	}
+	// Each request schedules a fetch completion on a cold cache, so the
+	// shards process 2 events per request: 6 total across both shards.
+	if got := stats["sim-shard-0"] + stats["sim-shard-1"]; got != 6 {
+		t.Fatalf("per-shard event counts sum to %d, want 6", got)
+	}
+	if stats["sim-windows"] < 1 {
+		t.Fatalf("sim-windows = %d, want >= 1", stats["sim-windows"])
+	}
+}
+
+// TestMeanLatencyOfMatchesOverallMean pins the report-merge fix: over all
+// caches, MeanLatencyOf must equal Overall.Mean() exactly. The old
+// implementation rebuilt per-cache sums as Mean()*Count(), and 29/7*7 != 29
+// in float64, so a cache with seven requests summing to 29ms exposed the
+// round-trip drift.
+func TestMeanLatencyOfMatchesOverallMean(t *testing.T) {
+	rep := newReport(2, 1, []int{0, 0})
+	for _, lat := range []float64{1, 1, 5, 5, 5, 6, 6} { // sum 29 over 7
+		rep.record(0, lat, outcomeLocal)
+	}
+	for _, lat := range []float64{3, 4} {
+		rep.record(1, lat, outcomeLocal)
+	}
+	all := []topology.CacheIndex{0, 1}
+	if got, want := rep.MeanLatencyOf(all), rep.Overall.Mean(); got != want {
+		t.Fatalf("MeanLatencyOf(all) = %v, Overall.Mean() = %v", got, want)
+	}
+	if want := 4.0; rep.Overall.Mean() != want { // 36ms over 9 requests
+		t.Fatalf("Overall.Mean() = %v, want %v", rep.Overall.Mean(), want)
+	}
+}
+
+// TestDocSizeBoundsSmallestLast pins the first-seen fix in docSizeBounds: a
+// catalog whose smallest document is listed last must still yield the true
+// minimum, and the walk must report catalog errors instead of skipping
+// them.
+func TestDocSizeBoundsSmallestLast(t *testing.T) {
+	js := `[{"id":0,"sizeKB":5},{"id":1,"sizeKB":3},{"id":2,"sizeKB":0.25}]`
+	cat, err := workload.ReadCatalogJSON(strings.NewReader(js), 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(lineNetwork(t), oneGroup(), cat, exactConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	minKB, maxKB, err := sim.docSizeBounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minKB != 0.25 || maxKB != 5 {
+		t.Fatalf("bounds = [%v, %v], want [0.25, 5]", minKB, maxKB)
+	}
+}
+
+// TestSoleLiveMemberPaysNoCooperativeCharge pins the latency-model
+// alignment between the two cooperation modes: a requester whose group
+// peers are all down pays the plain origin path — local miss, origin
+// processing, transfer — with no multicast wait and no beacon directory
+// round trip. On the line network that is 1 + 5 + 2×10 = 26ms.
+func TestSoleLiveMemberPaysNoCooperativeCharge(t *testing.T) {
+	for _, beacons := range []int{0, 1} {
+		cfg := exactConfig()
+		cfg.BeaconsPerGroup = beacons
+		cfg.FailedCaches = []topology.CacheIndex{1}
+		sim, err := New(lineNetwork(t), oneGroup(), fixedCatalog(t, 2), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sim.Run([]workload.Request{req(1, 0, 0)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rep.Overall.Mean(); got != 26 {
+			t.Fatalf("beacons=%d: sole live member latency = %vms, want 26", beacons, got)
+		}
+		if rep.OriginFetches != 1 {
+			t.Fatalf("beacons=%d: origin fetches = %d, want 1", beacons, rep.OriginFetches)
+		}
+	}
+}

@@ -43,15 +43,28 @@ type Config struct {
 	// the document and the group fans it out internally. The report
 	// records the origin's message savings versus per-cache push.
 	PushInvalidation bool
-	// TraceFn, when set, is invoked synchronously for every recorded
-	// request with its routing outcome — an observability hook for custom
-	// analyses. It must not retain the trace beyond the call.
+	// TraceFn, when set, is invoked for every recorded request with its
+	// routing outcome — an observability hook for custom analyses. Calls
+	// happen on Run's goroutine in global event order regardless of the
+	// Shards setting (traces are buffered per shard and replayed during
+	// the deterministic merge). It must not retain the trace beyond the
+	// call.
 	TraceFn func(RequestTrace)
 	// WarmupSec excludes the initial cold-cache phase from all recorded
 	// statistics — request latencies AND update/invalidation counters use
 	// the same cutoff, so overhead-vs-latency comparisons are measured
 	// over one window (events still execute).
 	WarmupSec float64
+	// Shards partitions the simulation by cache group for parallel
+	// execution: groups are dealt round-robin onto this many shards, each
+	// with its own event heap, scratch state, and report fragment, and the
+	// shards run concurrently inside conservative virtual-time windows
+	// bounded by origin updates (the only cross-group events). A
+	// deterministic ordered merge reassembles the final Report, so the
+	// Report's Checksum is bit-identical to the serial run at any shard
+	// count — the knob trades goroutines for wall-clock time only. 0 or 1
+	// runs single-shard; values above the group count are clamped.
+	Shards int
 	// Verify enables the invariant-checking layer: Run audits the finished
 	// report's conservation laws (outcome counts sum to recorded requests,
 	// origin volume consistent with origin-served requests, bounded
@@ -94,6 +107,8 @@ func (c Config) Validate(numCaches int) error {
 		return fmt.Errorf("netsim: CacheCapacityKB must be > 0, got %v", c.CacheCapacityKB)
 	case c.WarmupSec < 0:
 		return fmt.Errorf("netsim: WarmupSec must be >= 0, got %v", c.WarmupSec)
+	case c.Shards < 0:
+		return fmt.Errorf("netsim: Shards must be >= 0, got %d", c.Shards)
 	}
 	switch c.CachePolicy {
 	case 0, cache.PolicyUtility, cache.PolicyLRU:
@@ -127,12 +142,9 @@ type Simulator struct {
 	numGroups int
 	beacons   [][]topology.CacheIndex // per-group beacon members (beacon mode)
 
-	queue             eventQueue
-	seq               int64
 	ran               bool
-	holderScratch     []topology.CacheIndex // reused per-request holder buffer
-	groupHolderCounts []int                 // reused per-update per-group holder tally
-	touchedGroups     []int                 // reused per-update list of groups with holders
+	groupHolderCounts []int // reused per-update per-group holder tally
+	touchedGroups     []int // reused per-update list of groups with holders
 	stages            verify.Stages
 }
 
@@ -311,47 +323,28 @@ func chooseBeaconsDist(members []topology.CacheIndex, failed []bool, b int, dm [
 	return out
 }
 
-// trace invokes the TraceFn hook for a recorded request.
-func (s *Simulator) trace(ev event, how Outcome, latencyMS float64, peer topology.CacheIndex) {
-	if s.cfg.TraceFn == nil {
-		return
-	}
-	s.cfg.TraceFn(RequestTrace{
-		TimeSec:   ev.timeSec,
-		Cache:     ev.cache,
-		Group:     s.groupOf[int(ev.cache)],
-		Doc:       ev.doc,
-		Outcome:   how,
-		LatencyMS: latencyMS,
-		Peer:      peer,
-	})
-}
-
 // transferCost models moving a document of the given size across a path
 // with the given RTT.
 func (s *Simulator) transferCost(rtt, sizeKB float64) float64 {
 	return rtt*s.cfg.RTTsPerTransfer + sizeKB*s.cfg.PerKBMS
 }
 
-// push enqueues an event with a fresh sequence number.
-func (s *Simulator) push(ev event) {
-	ev.seq = s.seq
-	s.seq++
-	s.queue.push(ev)
-}
-
 // Run replays the request and update logs and returns the collected
 // report. Run may be called only once per Simulator.
+//
+// Execution is partitioned by cache group into Config.Shards shards (see
+// shard.go). Requests and fetch completions stay inside their shard;
+// updates are coordinator events applied between conservative virtual-time
+// windows, so every shard observes each update at the same virtual time.
+// The per-shard report fragments are merged in global event order at the
+// end, making the Report — including its Checksum — bit-identical to a
+// serial run regardless of shard count.
 func (s *Simulator) Run(requests []workload.Request, updates []workload.Update) (*Report, error) {
 	if s.ran {
 		return nil, errors.New("netsim: Run called twice")
 	}
 	s.ran = true
 
-	// Every request can schedule one fetch-completion event on top of the
-	// initial log, so size the heap for the worst case up front and avoid
-	// regrowth mid-run.
-	s.queue = make(eventQueue, 0, 2*len(requests)+len(updates))
 	for _, r := range requests {
 		if int(r.Cache) < 0 || int(r.Cache) >= len(s.caches) {
 			return nil, fmt.Errorf("netsim: request for unknown cache %d", r.Cache)
@@ -359,45 +352,56 @@ func (s *Simulator) Run(requests []workload.Request, updates []workload.Update) 
 		if _, err := s.catalog.Doc(r.Doc); err != nil {
 			return nil, fmt.Errorf("netsim: request: %w", err)
 		}
-		s.push(event{timeSec: r.TimeSec, kind: evRequest, cache: r.Cache, doc: r.Doc})
 	}
 	for _, u := range updates {
 		if _, err := s.catalog.Doc(u.Doc); err != nil {
 			return nil, fmt.Errorf("netsim: update: %w", err)
 		}
-		s.push(event{timeSec: u.TimeSec, kind: evUpdate, doc: u.Doc})
 	}
+
+	shards := s.buildShards(requests, len(updates))
+	updOrder := updateOrder(updates)
 
 	stopSim := s.stages.Start("simulate")
 	s.stages.Add("simulate", int64(len(requests)+len(updates)))
+	s.stages.SetParallelism("simulate", len(shards))
 	rep := newReport(len(s.caches), s.numGroups, s.groupOf)
-	for s.queue.Len() > 0 {
-		ev := s.queue.pop()
-		switch ev.kind {
-		case evRequest:
-			s.handleRequest(ev, rep)
-		case evUpdate:
-			s.version[int(ev.doc)]++
-			// Update-side counters honor the same warmup window as the
-			// request-side stats, so overhead-vs-latency comparisons are
-			// measured over one window. The update itself (version bump,
-			// invalidation of cached copies) always executes.
-			record := ev.timeSec >= s.cfg.WarmupSec
-			if record {
-				rep.Updates++
-			}
-			if s.cfg.PushInvalidation {
-				s.pushInvalidate(ev.doc, rep, record)
-			}
-		case evFetchComplete:
-			s.handleFetchComplete(ev)
+	var windows int64
+	for _, ui := range updOrder {
+		u := updates[ui]
+		windows += s.runWindow(shards, u.TimeSec, int64(len(requests)+ui), false)
+		// The update applies while no shard is running, after every shard
+		// has processed all earlier events and before any later one.
+		s.version[int(u.Doc)]++
+		// Update-side counters honor the same warmup window as the
+		// request-side stats, so overhead-vs-latency comparisons are
+		// measured over one window. The update itself (version bump,
+		// invalidation of cached copies) always executes.
+		record := u.TimeSec >= s.cfg.WarmupSec
+		if record {
+			rep.Updates++
+		}
+		if s.cfg.PushInvalidation {
+			s.pushInvalidate(u.Doc, rep, record)
 		}
 	}
+	windows += s.runWindow(shards, 0, 0, true)
 	stopSim()
+
+	stopMerge := s.stages.Start("sim-merge")
+	s.mergeFragments(shards, rep)
+	stopMerge()
+	s.stages.Add("sim-windows", windows)
+	for i, sh := range shards {
+		s.stages.Add(fmt.Sprintf("sim-shard-%d", i), sh.events)
+	}
+
 	if s.cfg.Verify {
 		stopVerify := s.stages.Start("verify")
-		minKB, maxKB := s.docSizeBounds()
-		err := rep.verifyWithBounds(int64(len(requests)), int64(len(updates)), minKB, maxKB)
+		minKB, maxKB, err := s.docSizeBounds()
+		if err == nil {
+			err = rep.verifyWithBounds(int64(len(requests)), int64(len(updates)), minKB, maxKB)
+		}
 		stopVerify()
 		if err != nil {
 			return nil, fmt.Errorf("netsim: report failed verification: %w", err)
@@ -408,29 +412,35 @@ func (s *Simulator) Run(requests []workload.Request, updates []workload.Update) 
 
 // docSizeBounds returns the smallest and largest document size in the
 // catalog, bounding the origin volume a given origin-served request count
-// can legitimately produce.
-func (s *Simulator) docSizeBounds() (minKB, maxKB float64) {
+// can legitimately produce. An explicit first-seen flag tracks whether
+// minKB has been set (a plain minKB == 0 sentinel would mistake a
+// zero-size document for "not yet seen"), and catalog errors propagate
+// instead of silently shrinking the bounds.
+func (s *Simulator) docSizeBounds() (minKB, maxKB float64, err error) {
+	seen := false
 	for id := 0; id < s.catalog.NumDocuments(); id++ {
 		d, err := s.catalog.Doc(workload.DocID(id))
 		if err != nil {
-			continue
+			return 0, 0, fmt.Errorf("doc size bounds: %w", err)
 		}
-		if minKB == 0 || d.SizeKB < minKB {
+		if !seen || d.SizeKB < minKB {
 			minKB = d.SizeKB
+			seen = true
 		}
 		if d.SizeKB > maxKB {
 			maxKB = d.SizeKB
 		}
 	}
-	return minKB, maxKB
+	return minKB, maxKB, nil
 }
 
 // Stages returns the simulator's timing/counter instrumentation, in the
 // same style as the Prober's overhead counters.
 func (s *Simulator) Stages() *verify.Stages { return &s.stages }
 
-// handleRequest serves one client request and records its latency.
-func (s *Simulator) handleRequest(ev event, rep *Report) {
+// handleRequest serves one client request and records its latency into the
+// owning shard's report fragment.
+func (s *Simulator) handleRequest(sh *simShard, ev event) {
 	i := int(ev.cache)
 	now := ev.timeSec
 	record := now >= s.cfg.WarmupSec
@@ -441,9 +451,7 @@ func (s *Simulator) handleRequest(ev event, rep *Report) {
 	if s.failed[i] {
 		lat := s.cfg.OriginProcessingMS + s.transferCost(s.nw.DistToOrigin(ev.cache), d.SizeKB)
 		if record {
-			rep.record(ev.cache, lat, outcomeFailover)
-			rep.OriginKB += d.SizeKB
-			s.trace(ev, OutcomeFailover, lat, -1)
+			sh.note(ev, outcomeFailover, lat, d.SizeKB, -1)
 		}
 		return
 	}
@@ -451,14 +459,13 @@ func (s *Simulator) handleRequest(ev event, rep *Report) {
 	// 1. Local lookup.
 	if s.caches[i].Lookup(ev.doc, cur, now) {
 		if record {
-			rep.record(ev.cache, s.cfg.LocalHitMS, outcomeLocal)
-			s.trace(ev, OutcomeLocal, s.cfg.LocalHitMS, -1)
+			sh.note(ev, outcomeLocal, s.cfg.LocalHitMS, 0, -1)
 		}
 		return
 	}
 
 	if s.cfg.BeaconsPerGroup > 0 {
-		s.handleRequestBeacon(ev, rep, d, cur, now, record)
+		s.handleRequestBeacon(sh, ev, d, cur, now, record)
 		return
 	}
 
@@ -473,22 +480,27 @@ func (s *Simulator) handleRequest(ev event, rep *Report) {
 	// the origin.
 	lat := s.cfg.LocalHitMS
 	if len(s.peers[i]) > 0 {
-		holders := s.holderScratch[:0]
+		holders := sh.holders[:0]
 		for _, p := range s.peers[i] {
 			if s.caches[int(p)].Contains(ev.doc, cur) {
 				holders = append(holders, p)
 			}
 		}
-		s.holderScratch = holders[:0]
+		holder := topology.CacheIndex(-1)
 		if len(holders) > 0 {
 			h := (uint64(ev.doc)*2654435761 + uint64(ev.cache)*40503) % uint64(len(holders))
-			holder := holders[h]
+			holder = holders[h]
+		}
+		// The scratch goes back to the shard only after its last read;
+		// resetting before the holder selection aliased the live entries
+		// and worked by accident alone.
+		sh.holders = holders[:0]
+		if holder >= 0 {
 			lat += s.transferCost(s.nw.Dist(ev.cache, holder), d.SizeKB)
 			if record {
-				rep.record(ev.cache, lat, outcomeGroup)
-				s.trace(ev, OutcomeGroup, lat, holder)
+				sh.note(ev, outcomeGroup, lat, 0, holder)
 			}
-			s.scheduleInsert(ev.cache, ev.doc, cur, now, lat)
+			s.scheduleInsert(sh, ev.cache, ev.doc, cur, now, lat)
 			return
 		}
 		lat += s.lookup[i]
@@ -497,11 +509,9 @@ func (s *Simulator) handleRequest(ev event, rep *Report) {
 	// 3. Miss everywhere: fetch from the origin server.
 	lat += s.cfg.OriginProcessingMS + s.transferCost(s.nw.DistToOrigin(ev.cache), d.SizeKB)
 	if record {
-		rep.record(ev.cache, lat, outcomeOrigin)
-		rep.OriginKB += d.SizeKB
-		s.trace(ev, OutcomeOrigin, lat, -1)
+		sh.note(ev, outcomeOrigin, lat, d.SizeKB, -1)
 	}
-	s.scheduleInsert(ev.cache, ev.doc, cur, now, lat)
+	s.scheduleInsert(sh, ev.cache, ev.doc, cur, now, lat)
 }
 
 // handleRequestBeacon serves a local miss through the Cache Clouds beacon
@@ -509,54 +519,61 @@ func (s *Simulator) handleRequest(ev event, rep *Report) {
 // document (hash-partitioned within the group); the beacon either directs
 // it to the nearest fresh holder or reports a group-wide miss, after which
 // the cache fetches from the origin.
-func (s *Simulator) handleRequestBeacon(ev event, rep *Report, d workload.Document, cur int64, now float64, record bool) {
+func (s *Simulator) handleRequestBeacon(sh *simShard, ev event, d workload.Document, cur int64, now float64, record bool) {
 	i := int(ev.cache)
 	lat := s.cfg.LocalHitMS
-	beacons := s.beacons[s.groupOf[i]]
-	if len(beacons) > 0 {
-		beacon := beacons[uint64(ev.doc)%uint64(len(beacons))]
-		// Directory round trip (skipped when the requester is the beacon).
-		if beacon != ev.cache {
-			lat += s.cfg.GroupLookupFactor * s.nw.Dist(ev.cache, beacon)
-		}
-		best := -1
-		var bestRTT float64
-		for _, p := range s.peers[i] {
-			if !s.caches[int(p)].Contains(ev.doc, cur) {
-				continue
+	// A requester with zero live peers pays no cooperative overhead in
+	// either mode: the multicast path only charges lookup[i] when peers
+	// exist, and the beacon directory round trip follows the same rule —
+	// with nobody to ask about, there is no directory to consult.
+	if len(s.peers[i]) > 0 {
+		beacons := s.beacons[s.groupOf[i]]
+		if len(beacons) > 0 {
+			beacon := beacons[uint64(ev.doc)%uint64(len(beacons))]
+			// Directory round trip (skipped when the requester is the beacon).
+			if beacon != ev.cache {
+				lat += s.cfg.GroupLookupFactor * s.nw.Dist(ev.cache, beacon)
 			}
-			if rtt := s.nw.Dist(ev.cache, p); best < 0 || rtt < bestRTT {
-				best, bestRTT = int(p), rtt
+			best := -1
+			var bestRTT float64
+			for _, p := range s.peers[i] {
+				if !s.caches[int(p)].Contains(ev.doc, cur) {
+					continue
+				}
+				if rtt := s.nw.Dist(ev.cache, p); best < 0 || rtt < bestRTT {
+					best, bestRTT = int(p), rtt
+				}
 			}
-		}
-		if best >= 0 {
-			lat += s.transferCost(bestRTT, d.SizeKB)
-			if record {
-				rep.record(ev.cache, lat, outcomeGroup)
-				s.trace(ev, OutcomeGroup, lat, topology.CacheIndex(best))
+			if best >= 0 {
+				lat += s.transferCost(bestRTT, d.SizeKB)
+				if record {
+					sh.note(ev, outcomeGroup, lat, 0, topology.CacheIndex(best))
+				}
+				s.scheduleInsert(sh, ev.cache, ev.doc, cur, now, lat)
+				return
 			}
-			s.scheduleInsert(ev.cache, ev.doc, cur, now, lat)
-			return
 		}
 	}
 	lat += s.cfg.OriginProcessingMS + s.transferCost(s.nw.DistToOrigin(ev.cache), d.SizeKB)
 	if record {
-		rep.record(ev.cache, lat, outcomeOrigin)
-		rep.OriginKB += d.SizeKB
-		s.trace(ev, OutcomeOrigin, lat, -1)
+		sh.note(ev, outcomeOrigin, lat, d.SizeKB, -1)
 	}
-	s.scheduleInsert(ev.cache, ev.doc, cur, now, lat)
+	s.scheduleInsert(sh, ev.cache, ev.doc, cur, now, lat)
 }
 
-// scheduleInsert queues the arrival of a fetched document copy.
-func (s *Simulator) scheduleInsert(c topology.CacheIndex, doc workload.DocID, version int64, now, latencyMS float64) {
-	s.push(event{
+// scheduleInsert queues the arrival of a fetched document copy on the
+// requesting cache's shard.
+func (s *Simulator) scheduleInsert(sh *simShard, c topology.CacheIndex, doc workload.DocID, version int64, now, latencyMS float64) {
+	ev := event{
 		timeSec: now + latencyMS/1000,
+		seq:     sh.seq,
 		kind:    evFetchComplete,
 		cache:   c,
 		doc:     doc,
 		version: version,
-	})
+	}
+	sh.seq++
+	sh.queue.push(ev)
 }
 
 // handleFetchComplete admits a fetched document if it is still current.

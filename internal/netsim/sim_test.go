@@ -858,16 +858,15 @@ func TestRequestPathAllocationLean(t *testing.T) {
 	if err := s.caches[1].Insert(d, 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	s.queue = make(eventQueue, 0, 4096)
-	rep := newReport(2, 1, s.groupOf)
+	sh := &simShard{queue: make(eventQueue, 0, 4096), seq: 1}
 	ev := event{timeSec: 1, kind: evRequest, cache: 0, doc: 0}
 	avg := testing.AllocsPerRun(500, func() {
-		s.handleRequest(ev, rep)
-		s.queue = s.queue[:0] // discard scheduled fetch completions
+		s.handleRequest(sh, ev)
+		sh.queue = sh.queue[:0] // discard scheduled fetch completions
+		sh.recs = sh.recs[:0]   // discard the recorded fragment
 	})
-	// The only remaining allocation is the latency-sample append inside
-	// Report.record, which is amortized; everything else runs on reused
-	// scratch.
+	// The only remaining allocation is the amortized growth of the shard's
+	// record fragment; everything else runs on reused scratch.
 	if avg >= 1 {
 		t.Fatalf("request path averaged %v allocs/request, want < 1", avg)
 	}

@@ -39,6 +39,23 @@ func (o Outcome) String() string {
 	}
 }
 
+// public converts the report-internal outcome to its exported trace
+// constant.
+func (o outcome) public() Outcome {
+	switch o {
+	case outcomeLocal:
+		return OutcomeLocal
+	case outcomeGroup:
+		return OutcomeGroup
+	case outcomeOrigin:
+		return OutcomeOrigin
+	case outcomeFailover:
+		return OutcomeFailover
+	default:
+		return Outcome(o)
+	}
+}
+
 // RequestTrace describes one served request for the Config.TraceFn hook.
 type RequestTrace struct {
 	// TimeSec is the request's arrival time.

@@ -9,15 +9,16 @@
 #             see BENCH_PATTERN below; raise for stabler numbers)
 #
 # The pattern covers the serial/parallel pairs (KMeansPar1/8,
-# GNPEmbedHosts1/8), the end-to-end Fig3 sweep, and the simulator throughput
-# path whose allocs/op the allocation-lean work targets.
+# GNPEmbedHosts1/8, SimShards1/2/4/8), the end-to-end Fig3 sweep, and the
+# simulator throughput path whose allocs/op the allocation-lean work
+# targets.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-3}"
 BENCHTIME="${2:-1x}"
-BENCH_PATTERN='BenchmarkKMeansPar|BenchmarkGNPEmbedHosts|BenchmarkFig3GroupSizeSweep|BenchmarkSimulatorThroughput'
+BENCH_PATTERN='BenchmarkKMeansPar|BenchmarkGNPEmbedHosts|BenchmarkFig3GroupSizeSweep|BenchmarkSimulatorThroughput|BenchmarkSimShards'
 OUT="BENCH_pipeline.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
