@@ -500,3 +500,39 @@ func BenchmarkExtensionFreshness(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkObsHistogram measures the enabled histogram record path — the
+// per-request cost the simulator pays at merge time when an Obs sink is
+// attached. The contract is 0 allocs/op (pinned hard by the
+// AllocsPerRun guard in internal/obs).
+func BenchmarkObsHistogram(b *testing.B) {
+	o := ecg.NewObs()
+	h := o.Registry().Histogram("bench_latency_ms")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(float64(i%1000) + 0.5)
+	}
+	if a := testing.AllocsPerRun(100, func() { h.Record(42) }); a != 0 {
+		b.Fatalf("enabled Record allocates %v per op, want 0", a)
+	}
+}
+
+// BenchmarkObsDisabled measures the disabled path: the same record call
+// against nil handles, which is what every instrumented site costs when
+// no -obs-addr sink is attached. This must stay within a couple of
+// nanoseconds (a nil check), so observability never taxes obs-free runs.
+func BenchmarkObsDisabled(b *testing.B) {
+	var o *ecg.Obs // disabled: all derived handles are nil and no-op
+	h := o.Registry().Histogram("bench_latency_ms")
+	c := o.Registry().Counter("bench_total")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(float64(i))
+		c.Inc()
+	}
+	if a := testing.AllocsPerRun(100, func() { h.Record(42); c.Inc() }); a != 0 {
+		b.Fatalf("disabled path allocates %v per op, want 0", a)
+	}
+}

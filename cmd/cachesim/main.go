@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	ecg "edgecachegroups"
 	"edgecachegroups/internal/topology"
@@ -46,6 +47,8 @@ func run(args []string, w io.Writer) error {
 		policy   = fs.String("policy", "utility", "cache replacement policy: utility or lru")
 		beacons  = fs.Int("beacons", 0, "beacon points per group (0 = multicast cooperation model)")
 		shards   = fs.Int("shards", 0, "group-partitioned simulator shards run concurrently (0 = serial; results are identical for any value)")
+		obsAddr  = fs.String("obs-addr", "", "serve live /metrics, /debug/vars, /debug/pprof, and /trace on this host:port (\":0\" for ephemeral; results are identical with or without)")
+		obsWait  = fs.Duration("obs-linger", 0, "keep the -obs-addr endpoint up this long after the run finishes, for scraping")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -53,6 +56,19 @@ func run(args []string, w io.Writer) error {
 	}
 	if *traceDir == "" {
 		return fmt.Errorf("-trace is required")
+	}
+	var o *ecg.Obs
+	if *obsAddr != "" {
+		o = ecg.NewObs()
+		srv, err := ecg.ServeObs(*obsAddr, o)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(w, "observability endpoint on http://%s/metrics\n", srv.Addr())
+		if *obsWait > 0 {
+			defer time.Sleep(*obsWait)
+		}
 	}
 
 	catalog, requests, updates, err := loadTrace(*traceDir, *alpha)
@@ -108,6 +124,7 @@ func run(args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown scheme %q", *scheme)
 	}
+	cfg.Obs = o
 	gf, err := ecg.NewCoordinator(nw, prober, cfg, src.Split("gf"))
 	if err != nil {
 		return fmt.Errorf("build coordinator: %w", err)
@@ -121,6 +138,7 @@ func run(args []string, w io.Writer) error {
 	simCfg.WarmupSec = *warmup
 	simCfg.BeaconsPerGroup = *beacons
 	simCfg.Shards = *shards
+	simCfg.Obs = o
 	switch strings.ToLower(*policy) {
 	case "utility":
 		simCfg.CachePolicy = ecg.PolicyUtility

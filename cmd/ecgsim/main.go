@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"edgecachegroups/internal/experiments"
+	"edgecachegroups/internal/obs"
 )
 
 func main() {
@@ -46,12 +47,28 @@ func run(args []string, w io.Writer) error {
 		verified = fs.Bool("verify", true, "audit every plan and report against the invariant-checking layer")
 		quiet    = fs.Bool("q", false, "suppress progress output")
 		outPath  = fs.String("out", "", "also append rendered tables to this file")
+		obsAddr  = fs.String("obs-addr", "", "serve live /metrics, /debug/vars, /debug/pprof, and /trace on this host:port (\":0\" for ephemeral; results are identical with or without)")
+		obsWait  = fs.Duration("obs-linger", 0, "keep the -obs-addr endpoint up this long after the run finishes, for scraping")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := experiments.Options{Seed: *seed, Scale: *scale, Parallelism: *parallel, PipelineParallelism: *pipePar, SimShards: *shards, Trials: *trials, NoVerify: !*verified}
+	if *obsAddr != "" {
+		opts.Obs = obs.New()
+		srv, err := obs.Serve(*obsAddr, opts.Obs)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		if !*quiet {
+			fmt.Fprintf(w, "observability endpoint on http://%s/metrics\n", srv.Addr())
+		}
+		if *obsWait > 0 {
+			defer time.Sleep(*obsWait)
+		}
+	}
 	if err := opts.Validate(); err != nil {
 		return err
 	}

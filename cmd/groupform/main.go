@@ -94,10 +94,26 @@ func run(args []string, w io.Writer) error {
 		replyTimeout = fs.Duration("reply-timeout", 200*time.Millisecond, "distributed: per-attempt reply wait")
 		backoffBase  = fs.Duration("backoff", 0, "distributed: exponential backoff base between retries (0 = retry immediately)")
 		roundBudget  = fs.Duration("round-budget", 0, "distributed: wall-clock budget per protocol round (0 = unlimited)")
+
+		obsAddr = fs.String("obs-addr", "", "serve live /metrics, /debug/vars, /debug/pprof, and /trace on this host:port (\":0\" for ephemeral; results are identical with or without)")
+		obsWait = fs.Duration("obs-linger", 0, "keep the -obs-addr endpoint up this long after the run finishes, for scraping")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var o *ecg.Obs
+	if *obsAddr != "" {
+		o = ecg.NewObs()
+		srv, err := ecg.ServeObs(*obsAddr, o)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(w, "observability endpoint on http://%s/metrics\n", srv.Addr())
+		if *obsWait > 0 {
+			defer time.Sleep(*obsWait)
+		}
 	}
 
 	lEff, mEff := clampLandmarks(*l, *m, *caches)
@@ -123,6 +139,7 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("unknown landmark selector %q", *selector)
 	}
 	cfg.Verify = *verified
+	cfg.Obs = o
 	if *parallel < 0 {
 		return fmt.Errorf("parallelism must be >= 0, got %d", *parallel)
 	}
@@ -154,7 +171,7 @@ func run(args []string, w io.Writer) error {
 			loss: *loss, dup: *dup, delay: *delay, maxDelay: *maxDelay, crash: *crash,
 			retries: *retries, replyTimeout: *replyTimeout,
 			backoffBase: *backoffBase, roundBudget: *roundBudget,
-			asJSON: *asJSON,
+			asJSON: *asJSON, obs: o,
 		}
 		return runDistributed(w, d, nw, prober, src)
 	}
@@ -225,6 +242,7 @@ type distOptions struct {
 	replyTimeout             time.Duration
 	backoffBase, roundBudget time.Duration
 	asJSON                   bool
+	obs                      *ecg.Obs
 }
 
 // runDistributed executes the message-passing protocol over a
@@ -268,6 +286,7 @@ func runDistributed(w io.Writer, d distOptions, nw *ecg.Network, prober *ecg.Pro
 		Retries:      retries,
 		BackoffBase:  d.backoffBase,
 		RoundBudget:  d.roundBudget,
+		Obs:          d.obs,
 	}
 	coord, err := ecg.NewProtocolCoordinator(pcfg, d.caches, tr, src.Split("coordinator"))
 	if err != nil {
@@ -277,6 +296,7 @@ func runDistributed(w io.Writer, d distOptions, nw *ecg.Network, prober *ecg.Pro
 	if err != nil {
 		return fmt.Errorf("protocol run: %w", err)
 	}
+	tr.PublishObs(d.obs)
 
 	scheme := "sl-distributed"
 	if d.theta > 0 {

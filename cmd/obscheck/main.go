@@ -1,0 +1,176 @@
+// Command obscheck validates a live observability endpoint started with
+// -obs-addr: it fetches /metrics, /debug/vars, and /trace and checks
+// that each response parses under its declared format (Prometheus text
+// exposition 0.0.4, JSON, and JSONL respectively). It is the assertion
+// half of the CI obs-smoke job, but works against any running binary.
+//
+// Usage:
+//
+//	ecgsim -fig 3 -scale 0.05 -obs-addr 127.0.0.1:9753 -obs-linger 60s &
+//	obscheck -addr 127.0.0.1:9753
+//
+// Exit status is 0 when every endpoint responds and parses; any
+// malformed line, unreachable endpoint, or empty /metrics body is
+// reported on stderr and exits 1.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("obscheck", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:9753", "host:port of the -obs-addr endpoint to validate")
+		wait    = fs.Duration("wait", 30*time.Second, "keep retrying the first fetch this long (the target may still be starting)")
+		minSamp = fs.Int("min-samples", 1, "minimum number of metric sample lines /metrics must expose")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := "http://" + *addr
+
+	// Retry the whole /metrics check within the wait window: the target
+	// may be up but not yet have recorded -min-samples sample lines.
+	deadline := time.Now().Add(*wait)
+	var samples int
+	for {
+		body, err := fetchRetry(base+"/metrics", time.Until(deadline))
+		if err != nil {
+			return err
+		}
+		samples, err = checkPrometheus(body, *minSamp)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("/metrics: %w", err)
+		}
+		time.Sleep(time.Second)
+	}
+	fmt.Fprintf(w, "/metrics ok: %d sample lines\n", samples)
+
+	body, err := fetchRetry(base+"/debug/vars", 0)
+	if err != nil {
+		return err
+	}
+	var vars struct {
+		Counters   map[string]int64           `json:"counters"`
+		Gauges     map[string]float64         `json:"gauges"`
+		Histograms map[string]json.RawMessage `json:"histograms"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		return fmt.Errorf("/debug/vars: invalid JSON: %w", err)
+	}
+	fmt.Fprintf(w, "/debug/vars ok: %d counters, %d gauges, %d histograms\n",
+		len(vars.Counters), len(vars.Gauges), len(vars.Histograms))
+
+	body, err = fetchRetry(base+"/trace", 0)
+	if err != nil {
+		return err
+	}
+	events, err := checkJSONL(body)
+	if err != nil {
+		return fmt.Errorf("/trace: %w", err)
+	}
+	fmt.Fprintf(w, "/trace ok: %d events\n", events)
+	return nil
+}
+
+// fetchRetry GETs url, retrying connection failures for up to wait.
+func fetchRetry(url string, wait time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("GET %s: status %s", url, resp.Status)
+			}
+			return io.ReadAll(resp.Body)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("GET %s: %w", url, err)
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+}
+
+// sampleLine matches a Prometheus text-format sample:
+// metric_name{optional="labels"} value
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? \S+$`)
+
+// checkPrometheus validates the text exposition format line by line and
+// returns the number of sample lines.
+func checkPrometheus(body []byte, minSamples int) (int, error) {
+	samples := 0
+	sc := bufio.NewScanner(strings.NewReader(string(body)))
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if !sampleLine.MatchString(text) {
+			return 0, fmt.Errorf("line %d: malformed sample %q", line, text)
+		}
+		val := text[strings.LastIndexByte(text, ' ')+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			return 0, fmt.Errorf("line %d: non-numeric value %q", line, val)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if samples < minSamples {
+		return 0, fmt.Errorf("only %d sample lines, want >= %d", samples, minSamples)
+	}
+	return samples, nil
+}
+
+// checkJSONL validates that every non-empty line is a JSON object with
+// the trace event's required fields.
+func checkJSONL(body []byte) (int, error) {
+	events := 0
+	sc := bufio.NewScanner(strings.NewReader(string(body)))
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var ev struct {
+			Kind    string   `json:"kind"`
+			TimeSec *float64 `json:"time_sec"`
+		}
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return 0, fmt.Errorf("line %d: invalid JSON: %w", line, err)
+		}
+		if ev.Kind == "" {
+			return 0, fmt.Errorf("line %d: missing kind", line)
+		}
+		if ev.TimeSec == nil {
+			return 0, fmt.Errorf("line %d: missing time_sec", line)
+		}
+		events++
+	}
+	return events, sc.Err()
+}

@@ -38,6 +38,7 @@ import (
 	"edgecachegroups/internal/landmark"
 	"edgecachegroups/internal/metrics"
 	"edgecachegroups/internal/netsim"
+	"edgecachegroups/internal/obs"
 	"edgecachegroups/internal/probe"
 	"edgecachegroups/internal/simrand"
 	"edgecachegroups/internal/topology"
@@ -268,6 +269,28 @@ type (
 	// LatencyStats accumulates latency samples.
 	LatencyStats = metrics.LatencyStats
 )
+
+// Observability layer (see internal/obs): a metrics registry, a bounded
+// trace ring, and an HTTP exposition surface. An *Obs plugs into
+// SchemeConfig.Obs, SimConfig.Obs, and ProtocolConfig.Obs; enabling it
+// never changes a Plan or Report checksum.
+type (
+	// Obs bundles a metrics registry and a trace sink; nil disables
+	// instrumentation everywhere it is accepted.
+	Obs = obs.Obs
+	// ObsEvent is one structured trace record.
+	ObsEvent = obs.Event
+	// ObsServer is a live /metrics, /debug/vars, /debug/pprof, /trace
+	// endpoint.
+	ObsServer = obs.Server
+)
+
+// NewObs returns an enabled observability bundle.
+func NewObs() *Obs { return obs.New() }
+
+// ServeObs binds addr (host:port, ":0" for ephemeral) and serves o's
+// exposition endpoints on it until the returned server is closed.
+func ServeObs(addr string, o *Obs) (*ObsServer, error) { return obs.Serve(addr, o) }
 
 // Verification layer.
 type (

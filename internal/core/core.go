@@ -24,6 +24,7 @@ import (
 	"edgecachegroups/internal/cluster"
 	"edgecachegroups/internal/gnp"
 	"edgecachegroups/internal/landmark"
+	"edgecachegroups/internal/obs"
 	"edgecachegroups/internal/par"
 	"edgecachegroups/internal/probe"
 	"edgecachegroups/internal/simrand"
@@ -117,6 +118,11 @@ type Config struct {
 	// dimension consistency) and fails loudly instead of returning a
 	// silently inconsistent partition.
 	Verify bool
+	// Obs is the optional observability sink: FormGroups brackets each
+	// pipeline stage with trace spans and mirrors the verify.Stages
+	// snapshot into its registry. Nil disables instrumentation; enabling
+	// it never changes the formed plan (see internal/obs).
+	Obs *obs.Obs
 }
 
 // SL returns the paper's SL scheme configuration: greedy landmark
@@ -273,7 +279,9 @@ func (gf *Coordinator) FormGroups(k int) (*Plan, error) {
 
 	// Step 1: choose the landmark set.
 	stopSelect := gf.stages.StartMem("landmark-select")
+	spanSelect := gf.cfg.Obs.StartSpan("landmark-select")
 	lms, err := gf.cfg.Selector.Select(gf.prober, n, gf.cfg.Landmarks, gf.src.Split("landmarks"))
+	spanSelect()
 	stopSelect()
 	if err != nil {
 		return nil, fmt.Errorf("select landmarks: %w", err)
@@ -282,7 +290,9 @@ func (gf *Coordinator) FormGroups(k int) (*Plan, error) {
 
 	// Step 2: every cache probes the landmarks to build its feature vector.
 	stopProbe := gf.stages.StartMem("probe-features")
+	spanProbe := gf.cfg.Obs.StartSpan("probe-features")
 	features, serverDist, err := gf.measureFeatures(lms)
+	spanProbe()
 	stopProbe()
 	if err != nil {
 		return nil, fmt.Errorf("measure feature vectors: %w", err)
@@ -295,6 +305,7 @@ func (gf *Coordinator) FormGroups(k int) (*Plan, error) {
 	var lmCoords [][]float64
 	if gf.cfg.Representation == Euclidean || gf.cfg.Representation == Vivaldi {
 		stopEmbed := gf.stages.StartMem("embed")
+		spanEmbed := gf.cfg.Obs.StartSpan("embed")
 		switch gf.cfg.Representation {
 		case Euclidean:
 			points, lmCoords, err = gf.embed(lms, features)
@@ -303,6 +314,7 @@ func (gf *Coordinator) FormGroups(k int) (*Plan, error) {
 			points, lmCoords, err = gf.embedVivaldi(lms, features)
 			gf.stages.SetParallelism("embed", gf.cfg.ProbeParallelism)
 		}
+		spanEmbed()
 		stopEmbed()
 		if err != nil {
 			return nil, fmt.Errorf("%v embedding: %w", gf.cfg.Representation, err)
@@ -324,7 +336,9 @@ func (gf *Coordinator) FormGroups(k int) (*Plan, error) {
 		clusterFn = cluster.KMedoids
 	}
 	stopCluster := gf.stages.StartMem("cluster")
+	spanCluster := gf.cfg.Obs.StartSpan("cluster")
 	res, err := clusterFn(points, k, seeder, gf.cfg.Cluster, gf.src.Split("kmeans"))
+	spanCluster()
 	stopCluster()
 	if err != nil {
 		return nil, fmt.Errorf("cluster caches: %w", err)
@@ -347,12 +361,17 @@ func (gf *Coordinator) FormGroups(k int) (*Plan, error) {
 	}
 	if gf.cfg.Verify {
 		stopVerify := gf.stages.Start("verify")
+		spanVerify := gf.cfg.Obs.StartSpan("verify")
 		err := plan.Verify(gf.nw)
+		spanVerify()
 		stopVerify()
 		if err != nil {
 			return nil, fmt.Errorf("core: plan failed verification: %w", err)
 		}
 	}
+	// Mirror the accumulated stage counters into the observability
+	// registry (diagnostics only; the plan is already final).
+	obs.PublishStages(gf.cfg.Obs, gf.stages.Snapshot())
 	return plan, nil
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"edgecachegroups/internal/core"
 	"edgecachegroups/internal/netsim"
+	"edgecachegroups/internal/obs"
 	"edgecachegroups/internal/par"
 	"edgecachegroups/internal/probe"
 	"edgecachegroups/internal/simrand"
@@ -49,6 +50,10 @@ type Options struct {
 	// centers-are-means) and reports (conservation laws) so a silently
 	// inconsistent simulation cannot make it into a rendered table.
 	NoVerify bool
+	// Obs is the optional observability sink, threaded into every
+	// formation pipeline and simulation the experiments run. Like the
+	// parallelism knobs, it never affects results.
+	Obs *obs.Obs
 }
 
 // DefaultOptions returns full-scale, single-trial options.
@@ -115,6 +120,7 @@ type env struct {
 	simCfg      netsim.Config
 	verify      bool
 	pipelinePar int
+	obs         *obs.Obs
 }
 
 // newEnv builds the simulation environment for a network of numCaches
@@ -136,9 +142,10 @@ func newEnv(numCaches int, o Options, seed int64, withTraces bool) (*env, error)
 	if err != nil {
 		return nil, fmt.Errorf("build prober: %w", err)
 	}
-	e := &env{nw: nw, prober: prober, simCfg: netsim.DefaultConfig(), verify: !o.NoVerify, pipelinePar: o.PipelineParallelism}
+	e := &env{nw: nw, prober: prober, simCfg: netsim.DefaultConfig(), verify: !o.NoVerify, pipelinePar: o.PipelineParallelism, obs: o.Obs}
 	e.simCfg.Verify = e.verify
 	e.simCfg.Shards = o.SimShards
+	e.simCfg.Obs = o.Obs
 	if !withTraces {
 		return e, nil
 	}
@@ -176,6 +183,7 @@ func newEnv(numCaches int, o Options, seed int64, withTraces bool) (*env, error)
 // caller opted out.
 func (e *env) formGroups(cfg core.Config, k int, src *simrand.Source) (*core.Plan, error) {
 	cfg.Verify = e.verify
+	cfg.Obs = e.obs
 	if e.pipelinePar > 0 {
 		cfg.ProbeParallelism = e.pipelinePar
 		cfg.Cluster.Parallelism = e.pipelinePar

@@ -48,8 +48,15 @@ func AvgGroupInteractionCost(nw *topology.Network, groups [][]topology.CacheInde
 
 // LatencyStats accumulates latency samples (milliseconds) and reports
 // summary statistics. The zero value is ready to use.
+//
+// samples always stays in insertion order: Percentile and String rank on
+// a separate sorted scratch copy. This is a determinism requirement, not
+// a style choice — Merge replays samples in their stored order, so a
+// read-only query that reordered them would change the float-addition
+// order (and therefore the low bits of Sum) of every later Merge.
 type LatencyStats struct {
 	samples []float64
+	scratch []float64 // lazily sorted copy of samples, invalidated by Add
 	sum     float64
 	min     float64
 	max     float64
@@ -115,14 +122,15 @@ func (s *LatencyStats) Percentile(p float64) float64 {
 		return s.max
 	}
 	if !s.sorted {
-		sort.Float64s(s.samples)
+		s.scratch = append(s.scratch[:0], s.samples...)
+		sort.Float64s(s.scratch)
 		s.sorted = true
 	}
 	rank := int(math.Ceil(p / 100 * float64(n)))
 	if rank < 1 {
 		rank = 1
 	}
-	return s.samples[rank-1]
+	return s.scratch[rank-1]
 }
 
 // String implements fmt.Stringer with a compact summary.

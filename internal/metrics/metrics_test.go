@@ -133,6 +133,45 @@ func TestLatencyStatsMerge(t *testing.T) {
 	}
 }
 
+// TestLatencyStatsMergeOrderStability is the regression test for a
+// determinism bug: Percentile used to sort samples in place, so querying
+// a stats object reordered its sample log and changed the float-addition
+// order — and therefore the low bits of Sum — of every subsequent Merge
+// out of it. The sample set {1e16, 1, 1} makes the two orders bitwise
+// distinguishable: 1e16+1+1 == 1e16 while 1+1+1e16 == 1e16+2.
+func TestLatencyStatsMergeOrderStability(t *testing.T) {
+	samples := []float64{1e16, 1, 1}
+	build := func() *LatencyStats {
+		var s LatencyStats
+		for _, v := range samples {
+			s.Add(v)
+		}
+		return &s
+	}
+
+	pristine := build()
+	var want LatencyStats
+	want.Merge(pristine)
+
+	queried := build()
+	_ = queried.Percentile(50) // read-only query must not reorder samples
+	_ = queried.String()
+	var got LatencyStats
+	got.Merge(queried)
+
+	if math.Float64bits(got.Sum()) != math.Float64bits(want.Sum()) {
+		t.Fatalf("Percentile query changed merge order: sum %v (%016x) != %v (%016x)",
+			got.Sum(), math.Float64bits(got.Sum()), want.Sum(), math.Float64bits(want.Sum()))
+	}
+	if got.Count() != want.Count() {
+		t.Fatalf("merged counts differ: %d != %d", got.Count(), want.Count())
+	}
+	// The query results themselves must stay correct afterwards.
+	if p := queried.Percentile(50); p != 1 {
+		t.Fatalf("P50 after merge = %v, want 1", p)
+	}
+}
+
 func TestLatencyStatsString(t *testing.T) {
 	var s LatencyStats
 	s.Add(10)

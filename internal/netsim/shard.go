@@ -30,6 +30,7 @@ type simShard struct {
 	holders []topology.CacheIndex // holder-scan scratch, reused per request
 	recs    []record              // ordered report fragment
 	events  int64                 // events processed (diagnostics)
+	lastT   float64               // virtual time of the last processed event
 }
 
 // record is one recorded request outcome, buffered shard-locally during the
@@ -157,6 +158,7 @@ func (s *Simulator) runWindow(shards []*simShard, boundT float64, boundSeq int64
 			}
 			ev := sh.queue.pop()
 			sh.events++
+			sh.lastT = ev.timeSec
 			switch ev.kind {
 			case evRequest:
 				s.handleRequest(sh, ev)
@@ -199,6 +201,22 @@ func (s *Simulator) mergeFragments(shards []*simShard, rep *Report) {
 		rep.record(rc.cache, rc.latencyMS, rc.how)
 		if rc.how == outcomeOrigin || rc.how == outcomeFailover {
 			rep.OriginKB += rc.originKB
+		}
+		// Observability feeds from the merge, not the shard loops: this
+		// runs single-threaded in global event order, so the latency
+		// histogram and outcome counters see every recorded request in the
+		// same deterministic order as the Report itself (handles are nil
+		// no-ops when Config.Obs is unset).
+		s.obsLatency.Record(rc.latencyMS)
+		switch rc.how {
+		case outcomeLocal:
+			s.obsLocal.Inc()
+		case outcomeGroup:
+			s.obsGroup.Inc()
+		case outcomeOrigin:
+			s.obsOrigin.Inc()
+		case outcomeFailover:
+			s.obsFailover.Inc()
 		}
 		if s.cfg.TraceFn != nil {
 			s.cfg.TraceFn(RequestTrace{

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"edgecachegroups/internal/cache"
+	"edgecachegroups/internal/obs"
 	"edgecachegroups/internal/topology"
 	"edgecachegroups/internal/verify"
 	"edgecachegroups/internal/workload"
@@ -71,6 +72,15 @@ type Config struct {
 	// invalidation counters) and fails loudly instead of returning silently
 	// inconsistent numbers.
 	Verify bool
+	// Obs is the optional observability sink: request latencies and
+	// outcomes feed a histogram and counters during the deterministic
+	// merge, window barriers and per-shard stall are recorded in virtual
+	// time, cache hit/miss/eviction counters are aggregated after the run,
+	// and evictions emit trace events through the cache eviction hook. Nil
+	// disables instrumentation; enabling it never changes the Report (see
+	// internal/obs — every write is a side channel, and the simulator
+	// never reads the wall clock for it).
+	Obs *obs.Obs
 	// FailedCaches lists caches that are down for the whole run: they serve
 	// no cooperative lookups and their own clients fail over to the origin.
 	FailedCaches []topology.CacheIndex
@@ -146,6 +156,21 @@ type Simulator struct {
 	groupHolderCounts []int // reused per-update per-group holder tally
 	touchedGroups     []int // reused per-update list of groups with holders
 	stages            verify.Stages
+
+	// Observability handles, hoisted at New so the hot paths pay one nil
+	// check when cfg.Obs is nil. All durations below are virtual time —
+	// this package never reads the wall clock (ecglint detclock).
+	obsLatency    *obs.Histogram // recorded request latency (ms)
+	obsLocal      *obs.Counter   // per-outcome recorded request counts
+	obsGroup      *obs.Counter
+	obsOrigin     *obs.Counter
+	obsFailover   *obs.Counter
+	obsEvictions  *obs.Counter   // cache eviction-hook firings
+	obsWindows    *obs.Counter   // conservative windows with work
+	obsWindowMS   *obs.Histogram // virtual span of each active window (ms)
+	obsStallMS    *obs.Histogram // per-shard virtual idle time at barriers (ms)
+	obsPrevBoundT float64        // previous window boundary (virtual seconds)
+	obsPrevEvents int64          // total events at the previous boundary
 }
 
 // New builds a simulator for the given group partition. groups must cover
@@ -266,6 +291,34 @@ func New(nw *topology.Network, groups [][]topology.CacheIndex, catalog *workload
 			s.beacons[g] = chooseBeaconsDist(members, failed, cfg.BeaconsPerGroup, dm)
 		}
 	}
+
+	if cfg.Obs != nil {
+		s.obsLatency = cfg.Obs.Histogram("sim_request_latency_ms")
+		s.obsLocal = cfg.Obs.Counter("sim_requests_local_total")
+		s.obsGroup = cfg.Obs.Counter("sim_requests_group_total")
+		s.obsOrigin = cfg.Obs.Counter("sim_requests_origin_total")
+		s.obsFailover = cfg.Obs.Counter("sim_requests_failover_total")
+		s.obsEvictions = cfg.Obs.Counter("cache_drops_total")
+		s.obsWindows = cfg.Obs.Counter("sim_windows_total")
+		s.obsWindowMS = cfg.Obs.Histogram("sim_window_span_virtual_ms")
+		s.obsStallMS = cfg.Obs.Histogram("sim_shard_stall_virtual_ms")
+		// The eviction hook fires on shard goroutines during windows;
+		// counter adds are atomic and the trace ring is mutex-guarded, so
+		// both are safe there. The hook carries no clock, so eviction
+		// events use TimeSec -1 ("unknown"); the Value is the document ID.
+		for i, ec := range s.caches {
+			ci := i
+			ec.SetEvictionHook(func(doc workload.DocID) {
+				s.obsEvictions.Inc()
+				cfg.Obs.Emit(obs.Event{
+					Kind:    obs.KindCacheEvict,
+					TimeSec: -1,
+					Value:   int64(doc),
+					Cache:   ci,
+				})
+			})
+		}
+	}
 	return s, nil
 }
 
@@ -369,7 +422,11 @@ func (s *Simulator) Run(requests []workload.Request, updates []workload.Update) 
 	var windows int64
 	for _, ui := range updOrder {
 		u := updates[ui]
-		windows += s.runWindow(shards, u.TimeSec, int64(len(requests)+ui), false)
+		w := s.runWindow(shards, u.TimeSec, int64(len(requests)+ui), false)
+		windows += w
+		if w > 0 {
+			s.obsWindow(shards, u.TimeSec, false)
+		}
 		// The update applies while no shard is running, after every shard
 		// has processed all earlier events and before any later one.
 		s.version[int(u.Doc)]++
@@ -385,7 +442,11 @@ func (s *Simulator) Run(requests []workload.Request, updates []workload.Update) 
 			s.pushInvalidate(u.Doc, rep, record)
 		}
 	}
-	windows += s.runWindow(shards, 0, 0, true)
+	wf := s.runWindow(shards, 0, 0, true)
+	windows += wf
+	if wf > 0 {
+		s.obsWindow(shards, 0, true)
+	}
 	stopSim()
 
 	stopMerge := s.stages.Start("sim-merge")
@@ -407,7 +468,85 @@ func (s *Simulator) Run(requests []workload.Request, updates []workload.Update) 
 			return nil, fmt.Errorf("netsim: report failed verification: %w", err)
 		}
 	}
+	s.publishObs(shards)
 	return rep, nil
+}
+
+// obsWindow records the diagnostics of one completed (active) window on
+// Run's goroutine, while no shard is running. Everything here is virtual
+// time: the window span is the distance between update boundaries and a
+// shard's stall is how long before the boundary it ran out of work — the
+// conservative-parallelism cost the Shards knob pays. For the final
+// (unbounded) window the latest event time stands in for the boundary
+// and stalls are undefined.
+func (s *Simulator) obsWindow(shards []*simShard, boundT float64, final bool) {
+	if s.cfg.Obs == nil {
+		return
+	}
+	var events int64
+	var maxT float64
+	for _, sh := range shards {
+		events += sh.events
+		if sh.lastT > maxT {
+			maxT = sh.lastT
+		}
+	}
+	t := boundT
+	if final {
+		t = maxT
+	}
+	spanMS := (t - s.obsPrevBoundT) * 1000
+	if spanMS < 0 {
+		spanMS = 0
+	}
+	s.obsWindows.Inc()
+	s.obsWindowMS.Record(spanMS)
+	if !final {
+		for _, sh := range shards {
+			if sh.events > 0 && sh.lastT <= boundT {
+				s.obsStallMS.Record((boundT - sh.lastT) * 1000)
+			}
+		}
+	}
+	s.cfg.Obs.Emit(obs.Event{
+		Kind:    obs.KindShardWindow,
+		TimeSec: t,
+		DurMS:   spanMS,
+		Value:   events - s.obsPrevEvents,
+		Cache:   -1,
+	})
+	s.obsPrevBoundT = t
+	s.obsPrevEvents = events
+}
+
+// publishObs mirrors the post-run aggregates into the observability
+// registry: cache counters summed across caches, per-shard event counts,
+// and the verify.Stages snapshot (including the wall-clock simulate and
+// merge timings measured by verify, which detclock exempts).
+func (s *Simulator) publishObs(shards []*simShard) {
+	o := s.cfg.Obs
+	if o == nil {
+		return
+	}
+	var st cache.Stats
+	for _, ec := range s.caches {
+		cs := ec.Stats()
+		st.Hits += cs.Hits
+		st.Misses += cs.Misses
+		st.StaleDrops += cs.StaleDrops
+		st.Evictions += cs.Evictions
+		st.Inserts += cs.Inserts
+	}
+	o.Counter("cache_hits_total").Add(st.Hits)
+	o.Counter("cache_misses_total").Add(st.Misses)
+	o.Counter("cache_stale_drops_total").Add(st.StaleDrops)
+	o.Counter("cache_evictions_total").Add(st.Evictions)
+	o.Counter("cache_inserts_total").Add(st.Inserts)
+	o.Gauge("sim_shards").Set(float64(len(shards)))
+	for i, sh := range shards {
+		o.Gauge(fmt.Sprintf("sim_shard_%d_events", i)).Set(float64(sh.events))
+	}
+	obs.PublishStages(o, s.stages.Snapshot())
 }
 
 // docSizeBounds returns the smallest and largest document size in the

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"edgecachegroups/internal/verify"
+)
+
+// PublishStages mirrors a verify.Stages snapshot into o's registry as
+// gauges named stage_<stage>_{count,nanos,items,allocs,parallelism}.
+// Stage names are sanitized onto the metric alphabet ("probe-features"
+// becomes stage_probe_features_*). Wall-clock durations measured by
+// verify.Stages enter the registry here — as diagnostics only; nothing
+// reads them back into pipeline state. Safe on a nil *Obs.
+func PublishStages(o *Obs, stats []verify.StageStat) {
+	if o == nil {
+		return
+	}
+	for _, st := range stats {
+		prefix := "stage_" + st.Name
+		o.Gauge(prefix + "_count").Set(float64(st.Count))
+		o.Gauge(prefix + "_nanos").Set(float64(st.Duration.Nanoseconds()))
+		if st.Items > 0 {
+			o.Gauge(prefix + "_items").Set(float64(st.Items))
+		}
+		if st.Allocs > 0 {
+			o.Gauge(prefix + "_allocs").Set(float64(st.Allocs))
+		}
+		if st.Parallelism > 0 {
+			o.Gauge(prefix + "_parallelism").Set(float64(st.Parallelism))
+		}
+	}
+}

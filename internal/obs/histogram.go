@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: a fixed log-scale grid with histSubBuckets
+// buckets per power of two, covering 2^histMinExp .. 2^histMaxExp
+// (roughly 1µs .. 70min when values are milliseconds). Values outside the
+// range clamp into the edge buckets. The relative quantile error is
+// bounded by one sub-bucket width, 1/histSubBuckets ≈ 6%.
+const (
+	histSubBuckets = 16
+	histMinExp     = -10
+	histMaxExp     = 22
+	histNumBuckets = (histMaxExp - histMinExp) * histSubBuckets
+)
+
+// Histogram is a fixed-bucket log-scale distribution of non-negative
+// samples (latencies in milliseconds, by convention). Record is
+// lock-free, allocation-free, and safe for concurrent use; a nil
+// *Histogram no-ops, so the disabled path costs one nil check.
+type Histogram struct {
+	count   int64
+	sumBits uint64
+	minBits uint64
+	maxBits uint64
+	buckets [histNumBuckets]int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	atomic.StoreUint64(&h.minBits, math.Float64bits(math.Inf(1)))
+	return h
+}
+
+// bucketOf maps a sample to its bucket index. Non-positive and NaN
+// samples land in bucket 0.
+func bucketOf(v float64) int {
+	if !(v > 0) { // negatives and NaN
+		return 0
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	e := exp - 1               // v = (2*frac) * 2^e, 2*frac in [1, 2)
+	sub := int((frac*2 - 1) * histSubBuckets)
+	if sub >= histSubBuckets { // guard the frac→sub rounding edge
+		sub = histSubBuckets - 1
+	}
+	idx := (e-histMinExp)*histSubBuckets + sub
+	if idx < 0 {
+		return 0
+	}
+	if idx >= histNumBuckets {
+		return histNumBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the exclusive upper bound of bucket idx.
+func bucketUpper(idx int) float64 {
+	e := idx/histSubBuckets + histMinExp
+	sub := idx % histSubBuckets
+	return math.Ldexp(1+float64(sub+1)/histSubBuckets, e)
+}
+
+// atomicAddFloat adds d to the float64 stored as bits in *bits.
+func atomicAddFloat(bits *uint64, d float64) {
+	for {
+		old := atomic.LoadUint64(bits)
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if atomic.CompareAndSwapUint64(bits, old, next) {
+			return
+		}
+	}
+}
+
+// atomicMinFloat / atomicMaxFloat keep a running extreme. The IEEE-754
+// bit patterns of non-negative floats order like their values, so the
+// comparison runs on the raw bits.
+func atomicMinFloat(bits *uint64, v uint64) {
+	for {
+		old := atomic.LoadUint64(bits)
+		if v >= old {
+			return
+		}
+		if atomic.CompareAndSwapUint64(bits, old, v) {
+			return
+		}
+	}
+}
+
+func atomicMaxFloat(bits *uint64, v uint64) {
+	for {
+		old := atomic.LoadUint64(bits)
+		if v <= old {
+			return
+		}
+		if atomic.CompareAndSwapUint64(bits, old, v) {
+			return
+		}
+	}
+}
+
+// Record adds one sample. Negative and NaN samples are dropped (they
+// indicate accounting bugs upstream and must not corrupt aggregates).
+// The path performs no allocation and takes no lock.
+func (h *Histogram) Record(v float64) {
+	if h == nil {
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	atomic.AddInt64(&h.buckets[bucketOf(v)], 1)
+	atomic.AddInt64(&h.count, 1)
+	atomicAddFloat(&h.sumBits, v)
+	b := math.Float64bits(v)
+	atomicMinFloat(&h.minBits, b)
+	atomicMaxFloat(&h.maxBits, b)
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&h.count)
+}
+
+// Sum returns the running total of recorded samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(atomic.LoadUint64(&h.sumBits))
+}
+
+// Min returns the smallest recorded sample, or 0 with no samples.
+func (h *Histogram) Min() float64 {
+	if h == nil || h.Count() == 0 {
+		return 0
+	}
+	return math.Float64frombits(atomic.LoadUint64(&h.minBits))
+}
+
+// Max returns the largest recorded sample, or 0 with no samples.
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(atomic.LoadUint64(&h.maxBits))
+}
+
+// Quantile returns an upper bound on the q-th quantile (q in [0,1]) by
+// nearest-rank over the bucket counts: the exclusive upper edge of the
+// bucket holding the rank. It returns 0 with no samples. Concurrent
+// Records may race the bucket walk; the result is a valid quantile of
+// some interleaving, which is all a monitoring surface needs.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := atomic.LoadInt64(&h.count)
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += atomic.LoadInt64(&h.buckets[i])
+		if seen >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return h.Max()
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// Snapshot summarizes the histogram with the percentiles the evaluation
+// cares about (p50/p99/p999).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters as `<name> <value>`, gauges likewise,
+// and histograms summary-style — `<name>{quantile="..."} <v>` plus
+// `<name>_sum` and `<name>_count`. Metric names walk in sorted order so
+// two equal snapshots render byte-identically.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	s := r.Snapshot()
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "# TYPE %s summary\n", name)
+		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %s\n", name, formatFloat(h.P50))
+		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %s\n", name, formatFloat(h.P99))
+		fmt.Fprintf(&b, "%s{quantile=\"0.999\"} %s\n", name, formatFloat(h.P999))
+		fmt.Fprintf(&b, "%s_sum %s\n", name, formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatFloat renders a float the way the Prometheus text format expects
+// (shortest round-trip form; no exponent for typical magnitudes).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns the exposition mux for o: /metrics (Prometheus text),
+// /debug/vars (JSON Snapshot), /trace (JSONL events, optional ?kind=
+// filter), and the net/http/pprof suite under /debug/pprof/.
+func Handler(o *Obs) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, o.Registry())
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(o.Registry().Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+		kind := req.URL.Query().Get("kind")
+		sink := o.Trace()
+		if kind == "" {
+			_ = sink.WriteJSONL(w)
+			return
+		}
+		enc := json.NewEncoder(w)
+		for _, e := range sink.Events() {
+			if string(e.Kind) == kind {
+				_ = enc.Encode(e)
+			}
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a live exposition endpoint. Construct with Serve; Close
+// releases the listener.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the listener down. Safe on a nil receiver.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// Serve binds addr (host:port; use ":0" for an ephemeral port) and
+// serves Handler(o) on it in a background goroutine. The caller owns the
+// returned Server and should Close it when done.
+func Serve(addr string, o *Obs) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(o)}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{srv: srv, ln: ln}, nil
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone event counter. All methods are safe for
+// concurrent use and safe (as no-ops) on a nil receiver, so instrumented
+// code can hold a counter handle unconditionally and pay only a nil check
+// when observability is disabled.
+type Counter struct {
+	v int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored; counters are monotone).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	atomic.AddInt64(&c.v, n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&c.v)
+}
+
+// Gauge is a last-writer-wins float value. Safe for concurrent use and
+// safe (as a no-op) on a nil receiver.
+type Gauge struct {
+	bits uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	atomic.StoreUint64(&g.bits, math.Float64bits(v))
+}
+
+// Add adds d to the current value.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := atomic.LoadUint64(&g.bits)
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if atomic.CompareAndSwapUint64(&g.bits, old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(atomic.LoadUint64(&g.bits))
+}
+
+// Registry holds named metrics. Registration (the first Counter/Gauge/
+// Histogram call for a name) takes the registry mutex; the returned
+// handles write lock-free thereafter, so hot paths register once up
+// front and record through the handle. A nil *Registry hands out nil
+// handles, making the disabled path a nil check per record.
+type Registry struct {
+	mu     sync.Mutex
+	cnts   map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		cnts:   make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// sanitizeName maps name onto the Prometheus metric-name alphabet
+// ([a-zA-Z0-9_:]), replacing every other byte with '_', so stage names
+// like "probe-features" register as "probe_features".
+func sanitizeName(name string) string {
+	ok := func(i int, b byte) bool {
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b == '_', b == ':':
+			return true
+		case b >= '0' && b <= '9':
+			return i > 0
+		}
+		return false
+	}
+	clean := true
+	for i := 0; i < len(name); i++ {
+		if !ok(i, name[i]) {
+			clean = false
+			break
+		}
+	}
+	if clean && name != "" {
+		return name
+	}
+	if name == "" {
+		return "_"
+	}
+	out := []byte(name)
+	for i := range out {
+		if !ok(i, out[i]) {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	name = sanitizeName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.cnts[name]
+	if c == nil {
+		c = &Counter{}
+		r.cnts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	name = sanitizeName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, registering it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	name = sanitizeName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every registered metric, with
+// deterministically (lexicographically) sorted name slices so two
+// snapshots of equal state render identically.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the current metric values. A nil registry yields an
+// empty (but usable) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.cnts {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// sortedKeys returns the map's keys in ascending order, so every
+// exposition walk is independent of map iteration order.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"edgecachegroups/internal/cluster"
+	"edgecachegroups/internal/obs"
 	"edgecachegroups/internal/probe"
 	"edgecachegroups/internal/simrand"
 	"edgecachegroups/internal/topology"
@@ -52,6 +53,11 @@ type Config struct {
 	// Stages, when non-nil, records per-round wall time and the retry /
 	// duplicate / timeout counters of the run.
 	Stages *verify.Stages
+	// Obs is the optional observability sink: rounds emit trace spans and
+	// KindProtocolRound events (reply counts), and the run's message /
+	// retry / duplicate / timeout totals land in its counters. Nil
+	// disables instrumentation; enabling it never changes the Result.
+	Obs *obs.Obs
 	// Cluster tunes the K-means iteration.
 	Cluster cluster.Options
 }
@@ -216,6 +222,7 @@ func (c *Coordinator) Run() (*Result, error) {
 		plTargets = append(plTargets, probe.Cache(ci))
 	}
 	plReplies, plOut := c.requestRound("plset", plset, plTargets)
+	c.cfg.Obs.EmitNow(obs.KindProtocolRound, "plset", int64(len(plReplies)))
 	if len(plReplies) < c.cfg.L-1 {
 		return nil, c.roundFailure("plset", plOut, fmt.Errorf("only %d of %d PLSet members responded, need >= %d",
 			len(plReplies), len(plset), c.cfg.L-1))
@@ -230,6 +237,7 @@ func (c *Coordinator) Run() (*Result, error) {
 		all[i] = topology.CacheIndex(i)
 	}
 	featReplies, featOut := c.requestRound("features", all, landmarks)
+	c.cfg.Obs.EmitNow(obs.KindProtocolRound, "features", int64(len(featReplies)))
 	if len(featReplies) < c.cfg.K {
 		return nil, c.roundFailure("features", featOut, fmt.Errorf("only %d caches responded, need >= K=%d",
 			len(featReplies), c.cfg.K))
@@ -297,6 +305,8 @@ func (c *Coordinator) Run() (*Result, error) {
 
 	// Round 5: assignment broadcast with acknowledgements.
 	res.UnackedAssignments = c.assignRound(res)
+	c.cfg.Obs.EmitNow(obs.KindProtocolRound, "assign",
+		int64(len(res.Assignments)-len(res.UnackedAssignments)))
 	c.drainInbox()
 	res.MessagesSent = c.sent
 	res.Retries = c.retries
@@ -311,6 +321,19 @@ func (c *Coordinator) Run() (*Result, error) {
 		c.cfg.Stages.Add("protocol-retries", res.Retries)
 		c.cfg.Stages.Add("protocol-duplicate-replies", res.DuplicateReplies)
 		c.cfg.Stages.Add("protocol-timeouts", res.TimedOutWaits)
+	}
+	if o := c.cfg.Obs; o != nil {
+		o.Counter("protocol_messages_sent_total").Add(res.MessagesSent)
+		o.Counter("protocol_retries_total").Add(res.Retries)
+		o.Counter("protocol_duplicate_replies_total").Add(res.DuplicateReplies)
+		o.Counter("protocol_timed_out_waits_total").Add(res.TimedOutWaits)
+		if res.Degraded {
+			o.Counter("protocol_degraded_runs_total").Inc()
+		}
+		o.Gauge("protocol_unresponsive").Set(float64(len(res.Unresponsive)))
+		o.Gauge("protocol_unacked_assignments").Set(float64(len(res.UnackedAssignments)))
+		o.Gauge("protocol_plset_size").Set(float64(res.PLSetSize))
+		o.Gauge("protocol_plset_responsive").Set(float64(res.PLSetResponsive))
 	}
 	if err := c.verifyResult(res); err != nil {
 		return nil, err
@@ -449,6 +472,7 @@ func (c *Coordinator) requestRound(name string, peers []topology.CacheIndex, tar
 		defer c.cfg.Stages.Start("protocol-" + name)()
 		defer func() { c.cfg.Stages.Add("protocol-"+name, int64(len(peers))) }()
 	}
+	defer c.cfg.Obs.StartSpan("protocol-" + name)()
 	var out roundOutcome
 	replies := make(map[topology.CacheIndex][]float64, len(peers))
 	pending := make(map[topology.CacheIndex]bool, len(peers))
@@ -628,6 +652,7 @@ func (c *Coordinator) assignRound(res *Result) []topology.CacheIndex {
 		defer c.cfg.Stages.Start("protocol-assign")()
 		defer func() { c.cfg.Stages.Add("protocol-assign", int64(len(res.Assignments))) }()
 	}
+	defer c.cfg.Obs.StartSpan("protocol-assign")()
 	order := make([]topology.CacheIndex, 0, len(res.Assignments))
 	for ci := range res.Assignments {
 		order = append(order, ci)

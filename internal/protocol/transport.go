@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"edgecachegroups/internal/obs"
 	"edgecachegroups/internal/simrand"
 )
 
@@ -249,6 +250,26 @@ func (t *ChanTransport) Stats() TransportStats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.stats
+}
+
+// PublishObs mirrors the transport's cumulative delivery statistics into
+// o's registry as transport_* gauges. The counters are monotone totals,
+// so republishing after later runs just advances the gauges; a nil *Obs
+// no-ops.
+func (t *ChanTransport) PublishObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	st := t.Stats()
+	o.Gauge("transport_sent").Set(float64(st.Sent))
+	o.Gauge("transport_delivered").Set(float64(st.Delivered))
+	o.Gauge("transport_duplicated").Set(float64(st.Duplicated))
+	o.Gauge("transport_delayed").Set(float64(st.Delayed))
+	o.Gauge("transport_dropped_loss").Set(float64(st.DroppedLoss))
+	o.Gauge("transport_dropped_dead").Set(float64(st.DroppedDead))
+	o.Gauge("transport_dropped_partition").Set(float64(st.DroppedPartition))
+	o.Gauge("transport_dropped_overflow").Set(float64(st.DroppedOverflow))
+	o.Gauge("transport_dropped_closed").Set(float64(st.DroppedClosed))
 }
 
 // link returns (creating on first use) the fault state of one directed

@@ -1,0 +1,102 @@
+package verify
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStagesConcurrent hammers one Stages value from many goroutines —
+// observers, item counters, parallelism reporters, and snapshotters all
+// interleaved — and checks the final totals. Run under -race this pins
+// the "safe for concurrent use" contract the obs layer now leans on
+// (PublishStages snapshots while pipeline workers are still recording).
+func TestStagesConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		iters      = 500
+	)
+	var s Stages
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("stage-%d", g%4)
+			for i := 0; i < iters; i++ {
+				s.Observe(name, time.Millisecond)
+				s.Add(name, 2)
+				s.SetParallelism(name, g+1)
+				s.AddAllocs(name, 1)
+				if i%100 == 0 {
+					_ = s.Snapshot()
+					_ = s.String()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	snap := s.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("got %d stages, want 4: %v", len(snap), snap)
+	}
+	var count, items, allocs int64
+	var dur time.Duration
+	for _, st := range snap {
+		count += st.Count
+		items += st.Items
+		allocs += st.Allocs
+		dur += st.Duration
+	}
+	total := int64(goroutines * iters)
+	if count != total {
+		t.Errorf("total count %d, want %d", count, total)
+	}
+	if items != 2*total {
+		t.Errorf("total items %d, want %d", items, 2*total)
+	}
+	if allocs != total {
+		t.Errorf("total allocs %d, want %d", allocs, total)
+	}
+	if dur != time.Duration(total)*time.Millisecond {
+		t.Errorf("total duration %v, want %v", dur, time.Duration(total)*time.Millisecond)
+	}
+	// stage-2 and stage-3 were only touched by goroutines 2,3,6,7; the
+	// widest pool bound recorded for each stage must have won.
+	for _, st := range snap {
+		want := map[string]int{"stage-0": 5, "stage-1": 6, "stage-2": 7, "stage-3": 8}[st.Name]
+		if st.Parallelism != want {
+			t.Errorf("%s parallelism %d, want %d", st.Name, st.Parallelism, want)
+		}
+	}
+}
+
+// TestStagesSnapshotOrderDeterministic pins Snapshot()'s ordering
+// contract: stage stats come back sorted by name regardless of insertion
+// order, so exposition built from a snapshot walk renders byte-identically
+// across runs.
+func TestStagesSnapshotOrderDeterministic(t *testing.T) {
+	insertions := [][]string{
+		{"cluster", "embed", "probe-features", "landmark-select"},
+		{"probe-features", "landmark-select", "embed", "cluster"},
+		{"embed", "cluster", "landmark-select", "probe-features"},
+	}
+	want := []string{"cluster", "embed", "landmark-select", "probe-features"}
+	for _, order := range insertions {
+		var s Stages
+		for _, name := range order {
+			s.Observe(name, time.Millisecond)
+		}
+		snap := s.Snapshot()
+		if len(snap) != len(want) {
+			t.Fatalf("insertion %v: got %d stages, want %d", order, len(snap), len(want))
+		}
+		for i, st := range snap {
+			if st.Name != want[i] {
+				t.Fatalf("insertion %v: snapshot[%d] = %q, want %q", order, i, st.Name, want[i])
+			}
+		}
+	}
+}

@@ -9,16 +9,18 @@
 #             see BENCH_PATTERN below; raise for stabler numbers)
 #
 # The pattern covers the serial/parallel pairs (KMeansPar1/8,
-# GNPEmbedHosts1/8, SimShards1/2/4/8), the end-to-end Fig3 sweep, and the
+# GNPEmbedHosts1/8, SimShards1/2/4/8), the end-to-end Fig3 sweep, the
 # simulator throughput path whose allocs/op the allocation-lean work
-# targets.
+# targets, and the observability record paths (ObsHistogram = enabled
+# per-sample cost, ObsDisabled = nil-handle overhead; both must stay at
+# 0 allocs/op).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-3}"
 BENCHTIME="${2:-1x}"
-BENCH_PATTERN='BenchmarkKMeansPar|BenchmarkGNPEmbedHosts|BenchmarkFig3GroupSizeSweep|BenchmarkSimulatorThroughput|BenchmarkSimShards'
+BENCH_PATTERN='BenchmarkKMeansPar|BenchmarkGNPEmbedHosts|BenchmarkFig3GroupSizeSweep|BenchmarkSimulatorThroughput|BenchmarkSimShards|BenchmarkObs'
 OUT="BENCH_pipeline.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
