@@ -214,6 +214,99 @@ func benchKMeansParallel(b *testing.B, workers int) {
 func BenchmarkKMeansPar1(b *testing.B) { benchKMeansParallel(b, 1) }
 func BenchmarkKMeansPar8(b *testing.B) { benchKMeansParallel(b, 8) }
 
+// benchBlobMatrix builds an n×dim flat feature matrix of points scattered
+// around `blobs` well-separated centers — the clustered geometry real
+// landmark-RTT feature sets exhibit, and the regime where bounds pruning
+// is representative.
+func benchBlobMatrix(n, dim, blobs int, src *simrand.Source) cluster.Matrix {
+	centers := cluster.NewMatrix(blobs, dim)
+	for c := 0; c < blobs; c++ {
+		row := centers.Row(c)
+		for j := range row {
+			row[j] = src.Uniform(0, 300)
+		}
+	}
+	m := cluster.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		c := centers.Row(i % blobs)
+		row := m.Row(i)
+		for j := range row {
+			row[j] = c[j] + src.Uniform(-12, 12)
+		}
+	}
+	return m
+}
+
+// benchKMeansFlat runs the large-N flat-matrix K-means (100k×16, k=64) at
+// the given prune mode. Results are bit-identical across all modes (pinned
+// by the cluster golden tests); only wall clock and the distance-evaluation
+// count change. The mean DistEvals per op is reported as "distevals/op" so
+// the pruning win is a committed, diffable number in BENCH_pipeline.json.
+func benchKMeansFlat(b *testing.B, mode cluster.PruneMode) {
+	src := simrand.New(16)
+	points := benchBlobMatrix(100_000, 16, 64, src)
+	opts := cluster.DefaultOptions()
+	opts.Prune = mode
+	var evals int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.KMeansMatrix(points, 64, cluster.UniformSeeder{}, opts, src.SplitN("km", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		evals += res.DistEvals
+	}
+	b.ReportMetric(float64(evals)/float64(b.N), "distevals/op")
+}
+
+func BenchmarkKMeansFlatExhaustive(b *testing.B) { benchKMeansFlat(b, cluster.PruneNone) }
+func BenchmarkKMeansFlatPruned(b *testing.B)     { benchKMeansFlat(b, cluster.PruneHamerly) }
+func BenchmarkKMeansFlatElkan(b *testing.B)      { benchKMeansFlat(b, cluster.PruneElkan) }
+
+// BenchmarkFeatureBuild measures the probe→flat-feature-matrix assembly —
+// core.MeasureFeatureMatrix, the exact path FormGroups runs — and guards
+// (Obs-style, inline) that building features for N caches performs O(1)
+// slice allocations: the flat matrix replaces the per-cache vector
+// allocations, and the per-worker probe.Measurer replaces the per-probe
+// RNG allocations, so the allocation count must not grow with N.
+func BenchmarkFeatureBuild(b *testing.B) {
+	g := benchTopology(b)
+	nw, err := topology.NewNetwork(g, topology.PlaceParams{NumCaches: 200}, simrand.New(17))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := probe.DefaultConfig()
+	cfg.Parallelism = 1
+	p, err := probe.NewProber(nw, cfg, simrand.New(18))
+	if err != nil {
+		b.Fatal(err)
+	}
+	lms := []probe.Endpoint{
+		probe.Origin(), probe.Cache(0), probe.Cache(20), probe.Cache(40),
+		probe.Cache(80), probe.Cache(120), probe.Cache(160), probe.Cache(199),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.MeasureFeatureMatrix(p, 200, lms, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	allocsFor := func(n int) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if _, _, err := core.MeasureFeatureMatrix(p, n, lms, 1); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+	a50, a200 := allocsFor(50), allocsFor(200)
+	if a200 > a50+1 {
+		b.Fatalf("feature build allocations scale with N: %v allocs for N=50 vs %v for N=200, want O(1)", a50, a200)
+	}
+}
+
 func BenchmarkGNPEmbedHost(b *testing.B) {
 	src := simrand.New(5)
 	landmarks := make([][]float64, 25)

@@ -2,7 +2,8 @@
 // benchmark-baseline JSON (BENCH_pipeline.json). It reads benchmark lines
 // from stdin, averages repeated runs (-count=N), derives parallel-vs-serial
 // speedups for benchmark pairs whose names differ only in a trailing worker
-// count (FooPar1/FooPar8, Foo1/Foo8), and records the host's CPU budget so a
+// count (FooPar1/FooPar8, Foo1/Foo8) plus pruned-vs-exhaustive speedups for
+// FooExhaustive/FooPruned pairs, and records the host's CPU budget so a
 // baseline measured on a single-core machine is not mistaken for one where
 // the parallel pipeline could show its wall-clock win.
 //
@@ -175,31 +176,39 @@ func trimProcs(name string) string {
 	return name[:i]
 }
 
-// speedups pairs benchmarks whose names differ only in a trailing worker
-// count where the serial member ends in "1" (KMeansPar1/KMeansPar8).
+// speedups pairs benchmarks whose names differ only in a trailing variant
+// marker: a worker count where the serial member ends in "1"
+// (KMeansPar1/KMeansPar8), and the algorithmic Exhaustive/Pruned pairs
+// (KMeansFlatExhaustive/KMeansFlatPruned) where the win comes from bounds
+// pruning rather than goroutines — the speedup that survives a 1-CPU host.
 func speedups(benches []Bench) []Speedup {
 	byName := make(map[string]Bench, len(benches))
 	for _, b := range benches {
 		byName[b.Name] = b
 	}
 	var out []Speedup
-	for _, serial := range benches {
-		prefix, ok := strings.CutSuffix(serial.Name, "1")
-		if !ok {
-			continue
+	pair := func(baseline Bench, prefix, variant string) {
+		faster, ok := byName[prefix+variant]
+		if !ok || faster.NsPerOp <= 0 {
+			return
 		}
-		for _, workers := range []string{"2", "4", "8", "16"} {
-			parName := prefix + workers
-			par, ok := byName[parName]
-			if !ok || par.NsPerOp <= 0 {
-				continue
+		out = append(out, Speedup{
+			Name:     strings.TrimPrefix(prefix, "Benchmark") + "x" + variant,
+			Serial:   baseline.Name,
+			Parallel: prefix + variant,
+			Factor:   baseline.NsPerOp / faster.NsPerOp,
+		})
+	}
+	for _, baseline := range benches {
+		if prefix, ok := strings.CutSuffix(baseline.Name, "1"); ok {
+			for _, workers := range []string{"2", "4", "8", "16"} {
+				pair(baseline, prefix, workers)
 			}
-			out = append(out, Speedup{
-				Name:     strings.TrimPrefix(prefix, "Benchmark") + "x" + workers,
-				Serial:   serial.Name,
-				Parallel: parName,
-				Factor:   serial.NsPerOp / par.NsPerOp,
-			})
+		}
+		if prefix, ok := strings.CutSuffix(baseline.Name, "Exhaustive"); ok {
+			for _, variant := range []string{"Pruned", "Elkan"} {
+				pair(baseline, prefix, variant)
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -64,6 +64,39 @@ func TestSpeedupPairsSerialAndParallel(t *testing.T) {
 	}
 }
 
+// TestSpeedupPairsExhaustiveAndPruned pins the algorithmic pairing: a
+// FooExhaustive baseline is compared against FooPruned and FooElkan
+// variants, the speedup that remains meaningful on a single-CPU host.
+func TestSpeedupPairsExhaustiveAndPruned(t *testing.T) {
+	const pruned = `BenchmarkKMeansFlatExhaustive-8	1	5000000000 ns/op	377600000 distevals/op
+BenchmarkKMeansFlatPruned-8	2	500000000 ns/op	27000000 distevals/op
+BenchmarkKMeansFlatElkan-8	1	1000000000 ns/op	15000000 distevals/op
+`
+	benches, err := parse(strings.NewReader(pruned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := speedups(benches)
+	if len(sp) != 2 {
+		t.Fatalf("got %d speedups, want 2: %+v", len(sp), sp)
+	}
+	byName := map[string]Speedup{}
+	for _, s := range sp {
+		byName[s.Name] = s
+	}
+	pr, ok := byName["KMeansFlatxPruned"]
+	if !ok || pr.Serial != "BenchmarkKMeansFlatExhaustive" || pr.Parallel != "BenchmarkKMeansFlatPruned" {
+		t.Fatalf("wrong Pruned pair: %+v", sp)
+	}
+	if want := 10.0; math.Abs(pr.Factor-want) > 1e-9 {
+		t.Fatalf("Pruned factor = %v, want %v", pr.Factor, want)
+	}
+	el, ok := byName["KMeansFlatxElkan"]
+	if !ok || math.Abs(el.Factor-5.0) > 1e-9 {
+		t.Fatalf("wrong Elkan pair: %+v", sp)
+	}
+}
+
 func TestRunEmitsValidBaseline(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(strings.NewReader(sample), &buf); err != nil {

@@ -103,6 +103,40 @@ func TestPlanChecksumPipelineParallelismInvariant(t *testing.T) {
 	}
 }
 
+// TestPlanChecksumPruneInvariant pins the bounds-pruning contract at the
+// whole-pipeline level: the pruned K-means reassignment (Hamerly default
+// and opt-in Elkan) must yield a Plan checksum bit-identical to the
+// exhaustive sweep's, for each scheme and at every worker count. A single
+// differently-resolved distance tie or a skipped reassignment would
+// change the assignment vector and surface here.
+func TestPlanChecksumPruneInvariant(t *testing.T) {
+	schemes := []struct {
+		name string
+		cfg  ecg.SchemeConfig
+	}{
+		{"SL", ecg.SL(8, 2)},
+		{"SDSL", ecg.SDSL(8, 2, 1.0)},
+		{"Euclidean", ecg.EuclideanScheme(8, 2, 5)},
+	}
+	for _, s := range schemes {
+		t.Run(s.name, func(t *testing.T) {
+			exhaustive, _ := formPlan(t, 77, ecg.WithKMeansPrune(s.cfg, ecg.PruneNone), 6)
+			want := exhaustive.Checksum()
+			for _, mode := range []ecg.KMeansPruneMode{ecg.PruneAuto, ecg.PruneHamerly, ecg.PruneElkan} {
+				for _, workers := range []int{1, 8} {
+					cfg := ecg.WithKMeansPrune(s.cfg, mode)
+					cfg.Cluster.Parallelism = workers
+					plan, _ := formPlan(t, 77, cfg, 6)
+					if got := plan.Checksum(); got != want {
+						t.Fatalf("prune=%v workers=%d: checksum %016x, want exhaustive %016x",
+							mode, workers, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestReportChecksumGolden(t *testing.T) {
 	runSim := func(t *testing.T, seed int64) *ecg.Report {
 		t.Helper()

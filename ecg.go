@@ -148,6 +148,23 @@ type (
 	LandmarkSelector = landmark.Selector
 	// FeatureVector is a point in the clustered space.
 	FeatureVector = cluster.Vector
+	// FeatureMatrix is the flat (one contiguous allocation) feature store
+	// the pipeline builds for million-cache inputs.
+	FeatureMatrix = cluster.Matrix
+	// KMeansPruneMode selects the K-means reassignment strategy
+	// (exhaustive, Hamerly bounds pruning, or Elkan bounds pruning). All
+	// modes return bit-identical plans; see WithKMeansPrune.
+	KMeansPruneMode = cluster.PruneMode
+)
+
+// K-means pruning modes. The default (PruneAuto) is Hamerly-style bounds
+// pruning, which skips the distance evaluations the exhaustive sweep
+// would waste on provably-unchanged points without altering any result.
+const (
+	PruneAuto    = cluster.PruneAuto
+	PruneNone    = cluster.PruneNone
+	PruneHamerly = cluster.PruneHamerly
+	PruneElkan   = cluster.PruneElkan
 )
 
 // Position representations.
@@ -186,6 +203,15 @@ func WithParallelism(cfg SchemeConfig, workers int) SchemeConfig {
 	cfg.ProbeParallelism = workers
 	cfg.Cluster.Parallelism = workers
 	cfg.GNP.Parallelism = workers
+	return cfg
+}
+
+// WithKMeansPrune sets the K-means reassignment strategy and returns the
+// updated config. Like WithParallelism, the knob never changes the formed
+// plan — pruned and exhaustive runs produce bit-identical checksums — it
+// only trades distance evaluations for bound bookkeeping.
+func WithKMeansPrune(cfg SchemeConfig, mode KMeansPruneMode) SchemeConfig {
+	cfg.Cluster.Prune = mode
 	return cfg
 }
 

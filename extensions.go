@@ -57,11 +57,28 @@ func Silhouette(points []FeatureVector, assignments []int, k int) (float64, erro
 	return cluster.Silhouette(points, assignments, k)
 }
 
+// SilhouetteParallel is Silhouette with its O(N²) distance loop fanned out
+// over at most workers goroutines (0 or 1 means serial). The coefficient
+// is bit-identical for every worker count.
+func SilhouetteParallel(points []FeatureVector, assignments []int, k, workers int) (float64, error) {
+	return cluster.SilhouetteParallel(points, assignments, k, workers)
+}
+
 // SuggestK runs the clustering for k = 1..kMax and returns the elbow of
 // the within-cluster-SS curve plus the curve itself — a starting point for
 // choosing the paper's "pre-specified parameter" K.
 func SuggestK(points []FeatureVector, kMax int, src *Rand) (int, []float64, error) {
 	return cluster.SuggestK(points, kMax, cluster.UniformSeeder{}, cluster.DefaultOptions(), src)
+}
+
+// SuggestKParallel is SuggestK with the kMax independent clustering runs
+// fanned out over at most workers goroutines (0 or 1 means serial), each
+// drawing from its own deterministic substream: the suggestion and curve
+// are bit-identical for every worker count.
+func SuggestKParallel(points []FeatureVector, kMax, workers int, src *Rand) (int, []float64, error) {
+	opts := cluster.DefaultOptions()
+	opts.Parallelism = workers
+	return cluster.SuggestK(points, kMax, cluster.UniformSeeder{}, opts, src)
 }
 
 // Flash-crowd workloads.

@@ -7,6 +7,47 @@ import (
 	"edgecachegroups/internal/simrand"
 )
 
+// PruneMode selects the reassignment strategy of the K-means iterative
+// phase. All modes produce bit-identical results — assignments, centers,
+// iteration counts, and therefore Plan checksums — at every Parallelism
+// setting; pruning only skips distance evaluations it can prove would not
+// change the outcome (see prune.go for the exactness argument).
+type PruneMode int
+
+const (
+	// PruneAuto is the default: Hamerly-style bounds pruning.
+	PruneAuto PruneMode = iota
+	// PruneNone disables pruning: every point scans every center each
+	// round (the paper's literal Lloyd's iteration). The reference the
+	// pruned paths are golden-tested against.
+	PruneNone
+	// PruneHamerly maintains one upper and one lower bound per point
+	// (O(n) extra memory) and skips points whose bounds prove their
+	// assignment cannot change.
+	PruneHamerly
+	// PruneElkan additionally maintains one lower bound per (point,
+	// center) pair (O(n·k) extra memory), pruning individual centers
+	// inside the scan. Worth it at large k; too memory-hungry for
+	// million-point runs at high k, hence opt-in.
+	PruneElkan
+)
+
+// String implements fmt.Stringer.
+func (p PruneMode) String() string {
+	switch p {
+	case PruneAuto:
+		return "auto"
+	case PruneNone:
+		return "none"
+	case PruneHamerly:
+		return "hamerly"
+	case PruneElkan:
+		return "elkan"
+	default:
+		return fmt.Sprintf("PruneMode(%d)", int(p))
+	}
+}
+
 // Options tunes the K-means iteration (paper §3.3).
 type Options struct {
 	// MaxIterations bounds the iterative phase. Zero means the default (100).
@@ -22,6 +63,11 @@ type Options struct {
 	// chunks whose partial sums are reduced in chunk order, so the floating
 	// point reduction tree never depends on the worker count.
 	Parallelism int
+	// Prune selects the reassignment strategy (default: Hamerly bounds
+	// pruning). Every mode returns the exact same clustering — including
+	// the lowest-index winner on distance ties — so the knob trades
+	// distance evaluations for bound bookkeeping, never accuracy.
+	Prune PruneMode
 }
 
 // DefaultOptions returns the options used in the experiments.
@@ -47,20 +93,40 @@ func (o Options) Validate() error {
 	if o.Parallelism < 0 {
 		return fmt.Errorf("cluster: Parallelism must be >= 0, got %d", o.Parallelism)
 	}
+	switch o.Prune {
+	case PruneAuto, PruneNone, PruneHamerly, PruneElkan:
+	default:
+		return fmt.Errorf("cluster: unknown PruneMode %d", int(o.Prune))
+	}
 	return nil
+}
+
+// resolvePrune maps the option to a concrete mode.
+func resolvePrune(p PruneMode) PruneMode {
+	if p == PruneAuto {
+		return PruneHamerly
+	}
+	return p
 }
 
 // Result describes a completed clustering.
 type Result struct {
 	// Assignments maps each point index to its cluster in [0,K).
 	Assignments []int
-	// Centers are the final cluster mean vectors.
+	// Centers are the final cluster mean vectors. They are row views of
+	// one flat backing array.
 	Centers []Vector
 	// Iterations is the number of iterative-phase rounds executed.
 	Iterations int
 	// Converged reports whether the termination condition was met before
 	// MaxIterations.
 	Converged bool
+	// DistEvals counts the point-to-center distance evaluations performed
+	// by the assignment phases (initial assignment plus every
+	// reassignment round). It is the diffable measure of how much work
+	// bounds pruning saved versus the exhaustive n·k-per-round sweep; the
+	// large-N benchmarks report it as evals/op.
+	DistEvals int64
 }
 
 // K returns the number of clusters.
@@ -123,6 +189,15 @@ func (r *Result) WithinClusterSS(points []Vector) float64 {
 	return sum
 }
 
+// WithinClusterSSMatrix is WithinClusterSS over a flat feature matrix.
+func (r *Result) WithinClusterSSMatrix(points Matrix) float64 {
+	var sum float64
+	for i, a := range r.Assignments {
+		sum += sqL2(points.Row(i), r.Centers[a])
+	}
+	return sum
+}
+
 // pointChunk is the fixed number of points per work chunk. It is a
 // constant — never derived from the worker count — so the chunk-order
 // reduction in recomputeCenters produces bit-identical centers for every
@@ -134,21 +209,40 @@ const pointChunk = 64
 // allocation-free regardless of how many rounds run.
 type kmScratch struct {
 	k, dim      int
+	mode        PruneMode   // resolved mode (never PruneAuto)
+	points      Matrix      // the flat feature store being clustered
+	centers     []float64   // flat k×dim center matrix (Result.Centers views it)
 	chunkSums   [][]float64 // per chunk: flattened k×dim partial sums
 	chunkCounts [][]int     // per chunk: per-cluster member counts
 	moved       []int       // per chunk: reassignments in the last round
+	evals       []int64     // per chunk: distance evaluations (cumulative)
 	sums        []float64   // flattened k×dim chunk-order reduction target
 	counts      []int       // per-cluster totals (also reused by repair)
+
+	// Bounds-pruning state (see prune.go); nil in PruneNone mode.
+	upper      []float64 // per point: upper bound on dist to assigned center
+	lower      []float64 // per point: lower bound on dist to 2nd-closest center
+	oldCenters []float64 // flat center snapshot from before recomputation
+	drift      []float64 // per center: movement in the last recomputation
+	sep        []float64 // per center: half the distance to its nearest peer
+	halfCD     []float64 // Elkan only: flat k×k half inter-center distances
+	lbAll      []float64 // Elkan only: flat n×k per-(point,center) lower bounds
+	maxDrift   float64
 }
 
-func newKMScratch(n, k, dim int) *kmScratch {
+func newKMScratch(points Matrix, k int, mode PruneMode) *kmScratch {
+	n, dim := points.Rows(), points.Dim()
 	nc := par.Chunks(n, pointChunk)
 	sc := &kmScratch{
 		k:           k,
 		dim:         dim,
+		mode:        mode,
+		points:      points,
+		centers:     make([]float64, k*dim),
 		chunkSums:   make([][]float64, nc),
 		chunkCounts: make([][]int, nc),
 		moved:       make([]int, nc),
+		evals:       make([]int64, nc),
 		sums:        make([]float64, k*dim),
 		counts:      make([]int, k),
 	}
@@ -156,24 +250,77 @@ func newKMScratch(n, k, dim int) *kmScratch {
 		sc.chunkSums[c] = make([]float64, k*dim)
 		sc.chunkCounts[c] = make([]int, k)
 	}
+	if mode != PruneNone {
+		sc.upper = make([]float64, n)
+		sc.lower = make([]float64, n)
+		sc.oldCenters = make([]float64, k*dim)
+		sc.drift = make([]float64, k)
+		sc.sep = make([]float64, k)
+	}
+	if mode == PruneElkan {
+		sc.halfCD = make([]float64, k*k)
+		sc.lbAll = make([]float64, n*k)
+	}
 	return sc
+}
+
+// pointRow returns point i's flat row.
+func (sc *kmScratch) pointRow(i int) []float64 { return sc.points.Row(i) }
+
+// centerRow returns center c's flat row.
+func (sc *kmScratch) centerRow(c int) []float64 {
+	lo := c * sc.dim
+	hi := lo + sc.dim
+	return sc.centers[lo:hi:hi]
+}
+
+// oldCenterRow returns the pre-recomputation snapshot of center c.
+func (sc *kmScratch) oldCenterRow(c int) []float64 {
+	lo := c * sc.dim
+	hi := lo + sc.dim
+	return sc.oldCenters[lo:hi:hi]
+}
+
+// totalEvals sums the per-chunk distance-evaluation counters.
+func (sc *kmScratch) totalEvals() int64 {
+	var total int64
+	for _, e := range sc.evals {
+		total += e
+	}
+	return total
 }
 
 // KMeans partitions points into k clusters. The seeder picks the initial
 // centers; src drives all randomness. The algorithm follows the paper's
 // three phases: initialization (seed + nearest-center assignment),
 // iteration (recompute means, reassign), and termination (when the number
-// of reassignments becomes minimal). The assignment and center phases run
-// on a worker pool bounded by opts.Parallelism; the result is invariant to
-// the worker count.
+// of reassignments becomes minimal).
+//
+// This is the []Vector-shaped adapter: it copies the points into a flat
+// Matrix once (which also improves locality for the iteration) and runs
+// KMeansMatrix. Callers that already hold a flat feature store — the
+// formation pipeline does — should call KMeansMatrix directly and skip
+// the copy.
 func KMeans(points []Vector, k int, seeder Seeder, opts Options, src *simrand.Source) (*Result, error) {
 	if err := validatePoints(points); err != nil {
+		return nil, err
+	}
+	return KMeansMatrix(MatrixFromVectors(points), k, seeder, opts, src)
+}
+
+// KMeansMatrix is KMeans over a flat feature matrix — the
+// million-cache-scale entry point. The assignment and center phases run on
+// a worker pool bounded by opts.Parallelism, and the reassignment sweep
+// prunes provably-unchanged points with triangle-inequality bounds
+// (opts.Prune); the result is invariant to both knobs.
+func KMeansMatrix(points Matrix, k int, seeder Seeder, opts Options, src *simrand.Source) (*Result, error) {
+	if err := validateMatrix(points); err != nil {
 		return nil, err
 	}
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	n := len(points)
+	n := points.Rows()
 	if k < 1 {
 		return nil, fmt.Errorf("cluster: k must be >= 1, got %d", k)
 	}
@@ -184,26 +331,20 @@ func KMeans(points []Vector, k int, seeder Seeder, opts Options, src *simrand.So
 		return nil, fmt.Errorf("cluster: nil seeder")
 	}
 	opts = opts.withDefaults()
+	mode := resolvePrune(opts.Prune)
 
 	// Initialization phase.
-	seedIdx, err := seeder.Seed(points, k, src)
+	seedIdx, err := seedCenters(seeder, points, k, src)
 	if err != nil {
-		return nil, fmt.Errorf("seed centers: %w", err)
+		return nil, err
 	}
-	if len(seedIdx) != k {
-		return nil, fmt.Errorf("cluster: seeder returned %d centers, want %d", len(seedIdx), k)
-	}
-	seen := make(map[int]bool, k)
+	sc := newKMScratch(points, k, mode)
 	centers := make([]Vector, k)
+	for c := range centers {
+		centers[c] = sc.centerRow(c)
+	}
 	for c, idx := range seedIdx {
-		if idx < 0 || idx >= n {
-			return nil, fmt.Errorf("cluster: seeder returned out-of-range index %d", idx)
-		}
-		if seen[idx] {
-			return nil, fmt.Errorf("cluster: seeder returned duplicate index %d", idx)
-		}
-		seen[idx] = true
-		centers[c] = points[idx].Clone()
+		copy(sc.centerRow(c), points.Row(idx))
 	}
 
 	// Parallelism 0 means serial here (not the pool default): clustering is
@@ -213,21 +354,30 @@ func KMeans(points []Vector, k int, seeder Seeder, opts Options, src *simrand.So
 	if workers == 0 {
 		workers = 1
 	}
-	sc := newKMScratch(n, k, len(points[0]))
 
 	assign := make([]int, n)
-	par.ForEachChunk(n, pointChunk, workers, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			assign[i] = nearestCenter(points[i], centers)
-		}
-	})
+	// Initial assignment: a full scan that doubles as bounds
+	// initialization in the pruned modes.
+	runSweep(sc, sweepAssign, assign, workers)
 
 	// Iterative phase.
 	res := &Result{Assignments: assign, Centers: centers}
 	for iter := 0; iter < opts.MaxIterations; iter++ {
-		recomputeCenters(points, res.Assignments, res.Centers, sc, workers)
-		repairEmptyClusters(points, res.Assignments, res.Centers, sc.counts)
-		moved := reassignAll(points, res.Assignments, res.Centers, sc, workers)
+		if mode != PruneNone {
+			copy(sc.oldCenters, sc.centers)
+		}
+		recomputeCenters(sc, assign, workers)
+		repaired := repairEmptyClusters(sc, assign)
+		var moved int
+		if mode == PruneNone || repaired {
+			// A repair moved points and rewrote a center mid-round, so
+			// the maintained bounds no longer hold; re-initialize them
+			// with a full sweep (which is exactly what the exhaustive
+			// path runs every round).
+			moved = reassignFull(sc, assign, workers)
+		} else {
+			moved = reassignPruned(sc, assign, workers)
+		}
 		res.Iterations = iter + 1
 		// The termination threshold is a true fraction: int truncation would
 		// turn e.g. ReassignFrac=0.01 at n=50 into strict convergence.
@@ -240,31 +390,97 @@ func KMeans(points []Vector, k int, seeder Seeder, opts Options, src *simrand.So
 	// between clusters, which stales the donor's (and recipient's) mean, so
 	// iterate repair→recompute until no repair fires: Result.Centers must be
 	// exactly the means of Result.Assignments.
-	recomputeCenters(points, res.Assignments, res.Centers, sc, workers)
-	for repairEmptyClusters(points, res.Assignments, res.Centers, sc.counts) {
-		recomputeCenters(points, res.Assignments, res.Centers, sc, workers)
+	recomputeCenters(sc, assign, workers)
+	for repairEmptyClusters(sc, assign) {
+		recomputeCenters(sc, assign, workers)
 	}
+	res.DistEvals = sc.totalEvals()
 	return res, nil
 }
 
-// reassignAll moves every point to its nearest center and returns the
-// number of reassignments. Each point's decision is independent, so the
-// chunked parallel sweep is trivially worker-count-invariant. The serial
-// path calls the chunk body directly — no closure — so the per-round hot
-// path stays allocation-free.
-func reassignAll(points []Vector, assign []int, centers []Vector, sc *kmScratch, workers int) int {
-	n := len(points)
+// seedCenters runs the seeder (through its Matrix fast path when
+// available) and validates the returned indices.
+func seedCenters(seeder Seeder, points Matrix, k int, src *simrand.Source) ([]int, error) {
+	var seedIdx []int
+	var err error
+	if ms, ok := seeder.(MatrixSeeder); ok {
+		seedIdx, err = ms.SeedMatrix(points, k, src)
+	} else {
+		// Fallback for external seeders: one header-slice allocation of
+		// row views, no data copies.
+		seedIdx, err = seeder.Seed(points.RowViews(), k, src)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("seed centers: %w", err)
+	}
+	if len(seedIdx) != k {
+		return nil, fmt.Errorf("cluster: seeder returned %d centers, want %d", len(seedIdx), k)
+	}
+	n := points.Rows()
+	seen := make(map[int]bool, k)
+	for _, idx := range seedIdx {
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("cluster: seeder returned out-of-range index %d", idx)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("cluster: seeder returned duplicate index %d", idx)
+		}
+		seen[idx] = true
+	}
+	return seedIdx, nil
+}
+
+// sweepKind names the per-chunk body runSweep dispatches to. Dispatching
+// on a plain value (rather than passing a closure) keeps the serial
+// iterative path free of per-round closure allocations.
+type sweepKind int
+
+const (
+	// sweepAssign fully scans every center per point; in pruned modes it
+	// also (re)initializes the point bounds.
+	sweepAssign sweepKind = iota
+	// sweepPruned runs the mode-specific bounds-pruned reassignment.
+	sweepPruned
+	// sweepAccum accumulates per-chunk center sums and counts.
+	sweepAccum
+)
+
+// sweepChunk runs one chunk of the given sweep kind.
+func sweepChunk(sc *kmScratch, kind sweepKind, assign []int, chunk, lo, hi int) {
+	switch kind {
+	case sweepAssign:
+		fullScanChunk(sc, assign, chunk, lo, hi)
+	case sweepPruned:
+		if sc.mode == PruneElkan {
+			elkanChunk(sc, assign, chunk, lo, hi)
+		} else {
+			hamerlyChunk(sc, assign, chunk, lo, hi)
+		}
+	case sweepAccum:
+		accumCenterChunk(sc, assign, chunk, lo, hi)
+	}
+}
+
+// runSweep runs a sweep kind over the fixed point chunks. The serial path
+// calls the chunk body directly — no closure, no goroutines — so a serial
+// iteration round performs zero allocations.
+func runSweep(sc *kmScratch, kind sweepKind, assign []int, workers int) {
+	n := sc.points.Rows()
 	if workers <= 1 {
 		nc := par.Chunks(n, pointChunk)
 		for c := 0; c < nc; c++ {
 			lo, hi := par.ChunkBounds(n, pointChunk, c)
-			reassignChunk(points, assign, centers, sc, c, lo, hi)
+			sweepChunk(sc, kind, assign, c, lo, hi)
 		}
-	} else {
-		par.ForEachChunk(n, pointChunk, workers, func(chunk, lo, hi int) {
-			reassignChunk(points, assign, centers, sc, chunk, lo, hi)
-		})
+		return
 	}
+	par.ForEachChunk(n, pointChunk, workers, func(chunk, lo, hi int) {
+		sweepChunk(sc, kind, assign, chunk, lo, hi)
+	})
+}
+
+// movedTotal sums the per-chunk reassignment counts of the last sweep.
+func movedTotal(sc *kmScratch) int {
 	total := 0
 	for _, m := range sc.moved {
 		total += m
@@ -272,50 +488,30 @@ func reassignAll(points []Vector, assign []int, centers []Vector, sc *kmScratch,
 	return total
 }
 
-// reassignChunk reassigns the points of one chunk and records the chunk's
-// move count in sc.moved.
-func reassignChunk(points []Vector, assign []int, centers []Vector, sc *kmScratch, chunk, lo, hi int) {
-	moved := 0
-	for i := lo; i < hi; i++ {
-		if c := nearestCenter(points[i], centers); c != assign[i] {
-			assign[i] = c
-			moved++
-		}
-	}
-	sc.moved[chunk] = moved
+// reassignFull moves every point to its nearest center with a full scan
+// (re-initializing the pruning bounds as a side effect in pruned modes)
+// and returns the number of reassignments.
+func reassignFull(sc *kmScratch, assign []int, workers int) int {
+	runSweep(sc, sweepAssign, assign, workers)
+	return movedTotal(sc)
 }
 
-// nearestCenter returns the index of the center closest to p (ties go to
-// the lowest index for determinism).
-func nearestCenter(p Vector, centers []Vector) int {
-	best := 0
-	bestD := sqL2(p, centers[0])
-	for c := 1; c < len(centers); c++ {
-		if d := sqL2(p, centers[c]); d < bestD {
-			best, bestD = c, d
-		}
-	}
-	return best
+// reassignPruned runs one bounds-pruned reassignment round: update the
+// center drifts and separations, then sweep the chunks with the
+// mode-specific pruning body.
+func reassignPruned(sc *kmScratch, assign []int, workers int) int {
+	updateDrift(sc)
+	updateSeparation(sc)
+	runSweep(sc, sweepPruned, assign, workers)
+	return movedTotal(sc)
 }
 
 // recomputeCenters sets each center to the mean of its members. Centers of
 // empty clusters are left untouched (repairEmptyClusters handles them).
 // Per-chunk partial sums are accumulated in parallel and reduced in chunk
 // order, so the result is bit-identical for every worker count.
-func recomputeCenters(points []Vector, assign []int, centers []Vector, sc *kmScratch, workers int) {
-	n := len(points)
-	dim := sc.dim
-	if workers <= 1 {
-		nc := par.Chunks(n, pointChunk)
-		for c := 0; c < nc; c++ {
-			lo, hi := par.ChunkBounds(n, pointChunk, c)
-			accumCenterChunk(points, assign, sc, c, lo, hi)
-		}
-	} else {
-		par.ForEachChunk(n, pointChunk, workers, func(chunk, lo, hi int) {
-			accumCenterChunk(points, assign, sc, chunk, lo, hi)
-		})
-	}
+func recomputeCenters(sc *kmScratch, assign []int, workers int) {
+	runSweep(sc, sweepAccum, assign, workers)
 	sums, counts := sc.sums, sc.counts
 	for i := range sums {
 		sums[i] = 0
@@ -331,18 +527,21 @@ func recomputeCenters(points []Vector, assign []int, centers []Vector, sc *kmScr
 			counts[i] += v
 		}
 	}
+	dim := sc.dim
 	for c := 0; c < sc.k; c++ {
 		if counts[c] == 0 {
 			continue
 		}
+		row := sc.centerRow(c)
+		inv := 1 / float64(counts[c])
 		for j := 0; j < dim; j++ {
-			centers[c][j] = sums[c*dim+j] / float64(counts[c])
+			row[j] = sums[c*dim+j] * inv
 		}
 	}
 }
 
 // accumCenterChunk zeroes and fills one chunk's partial sums and counts.
-func accumCenterChunk(points []Vector, assign []int, sc *kmScratch, chunk, lo, hi int) {
+func accumCenterChunk(sc *kmScratch, assign []int, chunk, lo, hi int) {
 	dim := sc.dim
 	sums := sc.chunkSums[chunk]
 	counts := sc.chunkCounts[chunk]
@@ -356,7 +555,7 @@ func accumCenterChunk(points []Vector, assign []int, sc *kmScratch, chunk, lo, h
 		a := assign[i]
 		counts[a]++
 		row := sums[a*dim : (a+1)*dim]
-		for j, x := range points[i] {
+		for j, x := range sc.pointRow(i) {
 			row[j] += x
 		}
 	}
@@ -367,10 +566,10 @@ func accumCenterChunk(points []Vector, assign []int, sc *kmScratch, chunk, lo, h
 // than one member. This keeps all K groups non-degenerate, which the group
 // formation problem requires (K disjoint non-empty groups). It reports
 // whether any assignment changed, so callers can recompute the affected
-// means. counts is a caller-provided scratch buffer of length k,
-// overwritten on every call.
-func repairEmptyClusters(points []Vector, assign []int, centers []Vector, counts []int) bool {
-	k := len(centers)
+// means (and, in pruned modes, re-initialize the now-invalid bounds).
+func repairEmptyClusters(sc *kmScratch, assign []int) bool {
+	k := sc.k
+	counts := sc.counts
 	for c := range counts {
 		counts[c] = 0
 	}
@@ -389,7 +588,7 @@ func repairEmptyClusters(points []Vector, assign []int, centers []Vector, counts
 			if counts[a] <= 1 {
 				continue
 			}
-			if d := sqL2(points[i], centers[assign[i]]); best < 0 || d > bestD {
+			if d := sqL2(sc.pointRow(i), sc.centerRow(a)); best < 0 || d > bestD {
 				best, bestD = i, d
 			}
 		}
@@ -399,8 +598,22 @@ func repairEmptyClusters(points []Vector, assign []int, centers []Vector, counts
 		counts[assign[best]]--
 		assign[best] = c
 		counts[c] = 1
-		centers[c] = points[best].Clone()
+		copy(sc.centerRow(c), sc.pointRow(best))
 		repaired = true
 	}
 	return repaired
+}
+
+// nearestCenter returns the index of the center closest to p (ties go to
+// the lowest index for determinism). Retained for []Vector callers; the
+// flat sweeps use the chunk bodies in prune.go.
+func nearestCenter(p Vector, centers []Vector) int {
+	best := 0
+	bestD := sqL2(p, centers[0])
+	for c := 1; c < len(centers); c++ {
+		if d := sqL2(p, centers[c]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
 }

@@ -23,6 +23,22 @@ func KMedoids(points []Vector, k int, seeder Seeder, opts Options, src *simrand.
 	if err := validatePoints(points); err != nil {
 		return nil, err
 	}
+	return kmedoids(points, k, seeder, opts, src)
+}
+
+// KMedoidsMatrix is KMedoids over a flat feature matrix. The medoid swap
+// phase is inherently O(n²) per cluster, so unlike KMeansMatrix there is
+// no large-N fast path — this adapter exists so Matrix-holding callers
+// (the formation pipeline) can use either algorithm through one shape. It
+// costs one row-view header allocation and no data copies.
+func KMedoidsMatrix(points Matrix, k int, seeder Seeder, opts Options, src *simrand.Source) (*Result, error) {
+	if err := validateMatrix(points); err != nil {
+		return nil, err
+	}
+	return kmedoids(points.RowViews(), k, seeder, opts, src)
+}
+
+func kmedoids(points []Vector, k int, seeder Seeder, opts Options, src *simrand.Source) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -124,8 +140,46 @@ func KMedoids(points []Vector, k int, seeder Seeder, opts Options, src *simrand.
 		res.Centers[c] = points[m].Clone()
 	}
 	// Guarantee non-empty clusters the same way KMeans does.
-	repairEmptyClusters(points, res.Assignments, res.Centers, make([]int, k))
+	repairEmptyClustersVec(points, res.Assignments, res.Centers, make([]int, k))
 	return res, nil
+}
+
+// repairEmptyClustersVec is the []Vector-shaped twin of the flat
+// repairEmptyClusters in kmeans.go: it re-seeds each empty cluster at the
+// point farthest from its assigned center, stolen from a cluster that can
+// spare it.
+func repairEmptyClustersVec(points []Vector, assign []int, centers []Vector, counts []int) bool {
+	for c := range counts {
+		counts[c] = 0
+	}
+	for _, a := range assign {
+		counts[a]++
+	}
+	repaired := false
+	for c := range centers {
+		if counts[c] > 0 {
+			continue
+		}
+		best := -1
+		var bestD float64
+		for i, a := range assign {
+			if counts[a] <= 1 {
+				continue
+			}
+			if d := sqL2(points[i], centers[a]); best < 0 || d > bestD {
+				best, bestD = i, d
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		counts[assign[best]]--
+		assign[best] = c
+		counts[c] = 1
+		centers[c] = points[best].Clone()
+		repaired = true
+	}
+	return repaired
 }
 
 // clusterCost is the total L2 distance from candidate medoid cand to the

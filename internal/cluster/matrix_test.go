@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMatrixRoundTrip(t *testing.T) {
+	points := []Vector{{1, 2}, {3, 4}, {5, 6}}
+	m := MatrixFromVectors(points)
+	if m.Rows() != 3 || m.Dim() != 2 {
+		t.Fatalf("shape = %d×%d, want 3×2", m.Rows(), m.Dim())
+	}
+	views := m.RowViews()
+	for i, p := range points {
+		for j := range p {
+			if m.Row(i)[j] != p[j] || views[i][j] != p[j] {
+				t.Fatalf("row %d component %d mismatch", i, j)
+			}
+		}
+	}
+	// MatrixFromVectors copies: mutating the source must not leak in.
+	points[0][0] = 99
+	if m.Row(0)[0] != 1 {
+		t.Fatal("MatrixFromVectors aliases its input")
+	}
+	// Row views alias the backing array.
+	views[1][0] = 42
+	if m.Row(1)[0] != 42 {
+		t.Fatal("RowViews does not alias the backing array")
+	}
+}
+
+func TestMatrixRowCapClipped(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Row(1), []float64{7, 8, 9})
+	row0 := m.Row(0)
+	if cap(row0) != 3 {
+		t.Fatalf("row cap = %d, want 3", cap(row0))
+	}
+	// Appending to a row view must reallocate, never clobber row 1.
+	grown := append(row0, 999)
+	_ = grown
+	if m.Row(1)[0] != 7 {
+		t.Fatal("append to a row view clobbered the next row")
+	}
+}
+
+func TestMatrixZeroValue(t *testing.T) {
+	var m Matrix
+	if !m.IsZero() {
+		t.Fatal("zero value not IsZero")
+	}
+	if m.Rows() != 0 {
+		t.Fatalf("zero value Rows = %d", m.Rows())
+	}
+	if err := validateMatrix(m); err == nil {
+		t.Fatal("validateMatrix accepted the zero value")
+	}
+	if got := MatrixFromVectors(nil); !got.IsZero() {
+		t.Fatal("MatrixFromVectors(nil) not zero")
+	}
+}
+
+func TestMatrixValidateRejectsNonFinite(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Row(1)[1] = math.NaN()
+	if err := validateMatrix(m); err == nil {
+		t.Fatal("validateMatrix accepted NaN")
+	}
+	m.Row(1)[1] = math.Inf(1)
+	if err := validateMatrix(m); err == nil {
+		t.Fatal("validateMatrix accepted +Inf")
+	}
+	m.Row(1)[1] = 0
+	if err := validateMatrix(m); err != nil {
+		t.Fatalf("validateMatrix rejected finite matrix: %v", err)
+	}
+}
+
+func TestNewMatrixPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMatrix(1, 0) did not panic")
+		}
+	}()
+	NewMatrix(1, 0)
+}

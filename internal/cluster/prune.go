@@ -1,0 +1,296 @@
+package cluster
+
+import "math"
+
+// This file implements the triangle-inequality bounds pruning of the
+// K-means reassignment sweep (Hamerly's single-bound algorithm by default,
+// Elkan's per-center bounds behind Options.Prune). Pruning must be
+// invisible: the contract is that every mode returns the exact assignment
+// the exhaustive sweep would, including the lowest-index winner on
+// distance ties, so Plan checksums stay bit-identical.
+//
+// Why the pruning is exact
+//
+// The exhaustive sweep assigns each point to the center with the smallest
+// *computed* squared distance, scanning centers in index order with a
+// strict less-than (ties keep the lowest index). The pruned sweeps differ
+// only in that they skip work they can prove irrelevant:
+//
+//   - A point is skipped entirely when its (inflated) upper bound on the
+//     distance to its assigned center is strictly below both its
+//     (deflated) lower bound on every other center and the (deflated)
+//     half-distance to the assigned center's nearest peer. Both margins
+//     are a relative 2^-40 — about a million times larger than the
+//     relative error of the distance kernel (≲ dim·2^-52) yet a million
+//     times smaller than anything that matters — so a successful skip
+//     implies the true gap to every rival center is far larger than any
+//     computed-value wobble: the exhaustive scan could not have chosen a
+//     different center, nor hit a tie.
+//   - When the bounds cannot prove anything, the point falls through to a
+//     full scan that is line-for-line the exhaustive comparison: squared
+//     distances from the shared sqL2 kernel, index order, strict
+//     less-than. (Elkan mode may skip individual centers inside the scan,
+//     with the same margin argument per center.)
+//
+// Skipped points keep their assignment — as the exhaustive sweep would
+// have — so the per-round moved counts, the ReassignFrac termination, the
+// iteration counts, and the final centers are all bit-identical across
+// PruneNone, PruneHamerly, and PruneElkan, at every Parallelism setting.
+//
+// Bound maintenance (per round): each center's drift is the distance it
+// moved during recomputation. A point's upper bound grows by its own
+// center's drift; lower bounds shrink by the relevant drift (Hamerly: the
+// max drift; Elkan: per center). Every update inflates upper bounds and
+// deflates lower bounds by the 2^-40 margin, keeping them conservative
+// against kernel rounding no matter how many rounds accumulate (the
+// margins compound in the safe direction — bounds only loosen, which can
+// cost a skip but never correctness). Empty-cluster repair rewrites a
+// center outside this bookkeeping, so the round after a repair re-derives
+// all bounds with a full sweep.
+
+// boundMargin is the relative safety margin applied to every bound
+// update: upper bounds are inflated by (1 + boundMargin), lower bounds
+// and separations deflated by (1 - boundMargin). 2^-40 dwarfs the
+// distance kernel's relative rounding error (≲ dim·2^-52 for any sane
+// dim) while costing essentially no pruning power.
+const boundMargin = 0x1p-40
+
+// inflate returns a value certainly >= x's true quantity, given x was
+// computed within boundMargin relative error.
+func inflate(x float64) float64 { return x * (1 + boundMargin) }
+
+// deflate returns a value certainly <= x's true quantity, given x >= 0
+// was computed within boundMargin relative error.
+func deflate(x float64) float64 { return x * (1 - boundMargin) }
+
+// fullScanChunk assigns each point in the chunk to its nearest center by
+// scanning all k centers — the exhaustive reassignment body. In pruned
+// modes it additionally records fresh bounds, which makes it double as
+// bounds (re)initialization after seeding and after an empty-cluster
+// repair.
+func fullScanChunk(sc *kmScratch, assign []int, chunk, lo, hi int) {
+	k := sc.k
+	mode := sc.mode
+	moved := 0
+	var evals int64
+	for i := lo; i < hi; i++ {
+		p := sc.pointRow(i)
+		best := 0
+		bestSq := sqL2(p, sc.centerRow(0))
+		secondSq := math.Inf(1)
+		if mode == PruneElkan {
+			lbRow := sc.lbAll[i*k : (i+1)*k]
+			lbRow[0] = deflate(math.Sqrt(bestSq))
+			for c := 1; c < k; c++ {
+				d := sqL2(p, sc.centerRow(c))
+				lbRow[c] = deflate(math.Sqrt(d))
+				if d < bestSq {
+					secondSq = bestSq
+					best, bestSq = c, d
+				} else if d < secondSq {
+					secondSq = d
+				}
+			}
+		} else {
+			for c := 1; c < k; c++ {
+				d := sqL2(p, sc.centerRow(c))
+				if d < bestSq {
+					secondSq = bestSq
+					best, bestSq = c, d
+				} else if d < secondSq {
+					secondSq = d
+				}
+			}
+		}
+		evals += int64(k)
+		if best != assign[i] {
+			assign[i] = best
+			moved++
+		}
+		if mode != PruneNone {
+			sc.upper[i] = inflate(math.Sqrt(bestSq))
+			sc.lower[i] = deflate(math.Sqrt(secondSq))
+		}
+	}
+	sc.moved[chunk] = moved
+	sc.evals[chunk] += evals
+}
+
+// updateDrift records how far each center moved during the last
+// recomputation, inflated so the stored drift certainly covers the true
+// movement.
+func updateDrift(sc *kmScratch) {
+	maxDrift := 0.0
+	for c := 0; c < sc.k; c++ {
+		d := inflate(math.Sqrt(sqL2(sc.oldCenterRow(c), sc.centerRow(c))))
+		sc.drift[c] = d
+		if d > maxDrift {
+			maxDrift = d
+		}
+	}
+	sc.maxDrift = maxDrift
+}
+
+// updateSeparation records, for each center, (deflated) half the distance
+// to its nearest other center: any point strictly closer to its center
+// than that cannot be closer to any rival. Elkan mode also keeps the full
+// half-distance matrix for per-center skips inside the scan.
+func updateSeparation(sc *kmScratch) {
+	k := sc.k
+	for c := 0; c < k; c++ {
+		sc.sep[c] = math.Inf(1)
+	}
+	for a := 0; a < k; a++ {
+		rowA := sc.centerRow(a)
+		for b := a + 1; b < k; b++ {
+			h := deflate(0.5 * math.Sqrt(sqL2(rowA, sc.centerRow(b))))
+			if sc.mode == PruneElkan {
+				sc.halfCD[a*k+b] = h
+				sc.halfCD[b*k+a] = h
+			}
+			if h < sc.sep[a] {
+				sc.sep[a] = h
+			}
+			if h < sc.sep[b] {
+				sc.sep[b] = h
+			}
+		}
+	}
+}
+
+// hamerlyChunk runs one Hamerly-pruned reassignment round over a chunk:
+// one upper and one lower bound per point, falling back to the exhaustive
+// scan (recording fresh tight bounds) whenever the bounds cannot prove
+// the assignment unchanged.
+func hamerlyChunk(sc *kmScratch, assign []int, chunk, lo, hi int) {
+	k := sc.k
+	maxDrift := sc.maxDrift
+	moved := 0
+	var evals int64
+	for i := lo; i < hi; i++ {
+		a := assign[i]
+		u := inflate(sc.upper[i] + sc.drift[a])
+		l := sc.lower[i] - maxDrift
+		if l < 0 {
+			l = 0
+		}
+		l = deflate(l)
+		bound := l
+		if s := sc.sep[a]; bound < s {
+			bound = s
+		}
+		if u < bound {
+			sc.upper[i] = u
+			sc.lower[i] = l
+			continue
+		}
+		// Tighten the upper bound with the exact distance and retry.
+		p := sc.pointRow(i)
+		aSq := sqL2(p, sc.centerRow(a))
+		evals++
+		u = inflate(math.Sqrt(aSq))
+		if u < bound {
+			sc.upper[i] = u
+			sc.lower[i] = l
+			continue
+		}
+		// Full scan, identical to the exhaustive comparison; the
+		// assigned center reuses its already-computed distance.
+		best := 0
+		var bestSq float64
+		if a == 0 {
+			bestSq = aSq
+		} else {
+			bestSq = sqL2(p, sc.centerRow(0))
+			evals++
+		}
+		secondSq := math.Inf(1)
+		for c := 1; c < k; c++ {
+			var d float64
+			if c == a {
+				d = aSq
+			} else {
+				d = sqL2(p, sc.centerRow(c))
+				evals++
+			}
+			if d < bestSq {
+				secondSq = bestSq
+				best, bestSq = c, d
+			} else if d < secondSq {
+				secondSq = d
+			}
+		}
+		if best != a {
+			assign[i] = best
+			moved++
+		}
+		sc.upper[i] = inflate(math.Sqrt(bestSq))
+		sc.lower[i] = deflate(math.Sqrt(secondSq))
+	}
+	sc.moved[chunk] = moved
+	sc.evals[chunk] += evals
+}
+
+// elkanChunk runs one Elkan-pruned reassignment round over a chunk: per
+// (point, center) lower bounds let it skip individual rival centers
+// inside the scan, on top of the whole-point separation skip. The scan
+// visits centers in index order with the assigned center participating at
+// its natural position, so the surviving comparisons are exactly the
+// exhaustive ones.
+func elkanChunk(sc *kmScratch, assign []int, chunk, lo, hi int) {
+	k := sc.k
+	moved := 0
+	var evals int64
+	for i := lo; i < hi; i++ {
+		a := assign[i]
+		lbRow := sc.lbAll[i*k : (i+1)*k]
+		for c := 0; c < k; c++ {
+			lb := lbRow[c] - sc.drift[c]
+			if lb < 0 {
+				lb = 0
+			}
+			lbRow[c] = deflate(lb)
+		}
+		u := inflate(sc.upper[i] + sc.drift[a])
+		if u < sc.sep[a] {
+			sc.upper[i] = u
+			continue
+		}
+		p := sc.pointRow(i)
+		aSq := sqL2(p, sc.centerRow(a))
+		evals++
+		aDist := math.Sqrt(aSq)
+		u = inflate(aDist)
+		lbRow[a] = deflate(aDist)
+		if u < sc.sep[a] {
+			sc.upper[i] = u
+			continue
+		}
+		halfRow := sc.halfCD[a*k : (a+1)*k]
+		best := -1
+		var bestSq float64
+		for c := 0; c < k; c++ {
+			var d float64
+			if c == a {
+				d = aSq
+			} else {
+				if u < lbRow[c] || u < halfRow[c] {
+					continue // provably strictly farther than center a
+				}
+				d = sqL2(p, sc.centerRow(c))
+				evals++
+				lbRow[c] = deflate(math.Sqrt(d))
+			}
+			if best < 0 || d < bestSq {
+				best, bestSq = c, d
+			}
+		}
+		if best != a {
+			assign[i] = best
+			moved++
+		}
+		sc.upper[i] = inflate(math.Sqrt(bestSq))
+	}
+	sc.moved[chunk] = moved
+	sc.evals[chunk] += evals
+}

@@ -12,15 +12,36 @@ type Seeder interface {
 	Seed(points []Vector, k int, src *simrand.Source) ([]int, error)
 }
 
+// MatrixSeeder is the flat-matrix fast path of Seeder. KMeansMatrix
+// prefers it when the seeder implements it, avoiding the per-call row-view
+// header allocation the []Vector interface would force at million-point
+// scale. Implementations must consume randomness identically to their
+// Seed method so both paths pick the same centers from the same stream.
+type MatrixSeeder interface {
+	SeedMatrix(points Matrix, k int, src *simrand.Source) ([]int, error)
+}
+
 // UniformSeeder picks k distinct points uniformly at random. This is the
 // paper's SL-scheme initialization ("randomly chooses K edge caches").
 type UniformSeeder struct{}
 
-var _ Seeder = UniformSeeder{}
+var (
+	_ Seeder       = UniformSeeder{}
+	_ MatrixSeeder = UniformSeeder{}
+)
 
 // Seed implements Seeder.
 func (UniformSeeder) Seed(points []Vector, k int, src *simrand.Source) ([]int, error) {
-	idx, err := src.SampleWithoutReplacement(len(points), k)
+	return uniformSeed(len(points), k, src)
+}
+
+// SeedMatrix implements MatrixSeeder.
+func (UniformSeeder) SeedMatrix(points Matrix, k int, src *simrand.Source) ([]int, error) {
+	return uniformSeed(points.Rows(), k, src)
+}
+
+func uniformSeed(n, k int, src *simrand.Source) ([]int, error) {
+	idx, err := src.SampleWithoutReplacement(n, k)
 	if err != nil {
 		return nil, fmt.Errorf("uniform seed: %w", err)
 	}
@@ -36,12 +57,24 @@ type WeightedSeeder struct {
 	Weights []float64
 }
 
-var _ Seeder = WeightedSeeder{}
+var (
+	_ Seeder       = WeightedSeeder{}
+	_ MatrixSeeder = WeightedSeeder{}
+)
 
 // Seed implements Seeder.
 func (s WeightedSeeder) Seed(points []Vector, k int, src *simrand.Source) ([]int, error) {
-	if len(s.Weights) != len(points) {
-		return nil, fmt.Errorf("cluster: %d weights for %d points", len(s.Weights), len(points))
+	return s.weightedSeed(len(points), k, src)
+}
+
+// SeedMatrix implements MatrixSeeder.
+func (s WeightedSeeder) SeedMatrix(points Matrix, k int, src *simrand.Source) ([]int, error) {
+	return s.weightedSeed(points.Rows(), k, src)
+}
+
+func (s WeightedSeeder) weightedSeed(n, k int, src *simrand.Source) ([]int, error) {
+	if len(s.Weights) != n {
+		return nil, fmt.Errorf("cluster: %d weights for %d points", len(s.Weights), n)
 	}
 	idx, err := src.WeightedSampleWithoutReplacement(s.Weights, k)
 	if err != nil {
@@ -58,11 +91,30 @@ func (s WeightedSeeder) Seed(points []Vector, k int, src *simrand.Source) ([]int
 // ablation studies.
 type SpreadSeeder struct{}
 
-var _ Seeder = SpreadSeeder{}
+var (
+	_ Seeder       = SpreadSeeder{}
+	_ MatrixSeeder = SpreadSeeder{}
+)
 
 // Seed implements Seeder.
 func (SpreadSeeder) Seed(points []Vector, k int, src *simrand.Source) ([]int, error) {
-	n := len(points)
+	return spreadSeed(len(points), func(i, j int) float64 {
+		return sqL2(points[i], points[j])
+	}, k, src)
+}
+
+// SeedMatrix implements MatrixSeeder.
+func (SpreadSeeder) SeedMatrix(points Matrix, k int, src *simrand.Source) ([]int, error) {
+	return spreadSeed(points.Rows(), func(i, j int) float64 {
+		return sqL2(points.Row(i), points.Row(j))
+	}, k, src)
+}
+
+// spreadSeed is the shared k-means++ body; sqDist(i,j) returns the squared
+// distance between points i and j. Both entry paths use the same sqL2
+// kernel and identical randomness consumption, so they choose the same
+// centers.
+func spreadSeed(n int, sqDist func(i, j int) float64, k int, src *simrand.Source) ([]int, error) {
 	if k > n {
 		return nil, fmt.Errorf("cluster: cannot seed %d centers from %d points", k, n)
 	}
@@ -70,7 +122,7 @@ func (SpreadSeeder) Seed(points []Vector, k int, src *simrand.Source) ([]int, er
 	chosen = append(chosen, src.Intn(n))
 	minSq := make([]float64, n)
 	for i := range minSq {
-		minSq[i] = sqL2(points[i], points[chosen[0]])
+		minSq[i] = sqDist(i, chosen[0])
 	}
 	for len(chosen) < k {
 		i, err := src.WeightedChoice(minSq)
@@ -94,7 +146,7 @@ func (SpreadSeeder) Seed(points []Vector, k int, src *simrand.Source) ([]int, er
 		}
 		chosen = append(chosen, i)
 		for j := range minSq {
-			if d := sqL2(points[j], points[i]); d < minSq[j] {
+			if d := sqDist(j, i); d < minSq[j] {
 				minSq[j] = d
 			}
 		}

@@ -1,14 +1,30 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+
+	"edgecachegroups/internal/par"
+)
 
 // Silhouette returns the mean silhouette coefficient of a partition — a
 // clustering-quality diagnostic in [-1, 1] where higher is better. For
 // each point, a is its mean distance to its own cluster's other members
 // and b the smallest mean distance to another cluster; the coefficient is
 // (b-a)/max(a,b). Points in singleton clusters contribute 0, following the
-// usual convention.
+// usual convention. It runs serially; SilhouetteParallel fans the O(N²)
+// distance work out over a worker pool.
 func Silhouette(points []Vector, assign []int, k int) (float64, error) {
+	return SilhouetteParallel(points, assign, k, 1)
+}
+
+// SilhouetteParallel is Silhouette with the outer loop fanned out over at
+// most workers goroutines (0 or 1 means serial, matching
+// Options.Parallelism semantics). Per-point work reads only shared
+// immutable state, and the per-chunk partial sums are reduced in fixed
+// chunk order, so the returned coefficient is bit-identical for every
+// worker count. The per-cluster distance scratch is hoisted per worker —
+// the O(N²) loop performs no allocations.
+func SilhouetteParallel(points []Vector, assign []int, k, workers int) (float64, error) {
 	if err := validatePoints(points); err != nil {
 		return 0, err
 	}
@@ -30,40 +46,63 @@ func Silhouette(points []Vector, assign []int, k int) (float64, error) {
 		return 0, nil // silhouette undefined for a single cluster
 	}
 
+	nc := par.Chunks(n, pointChunk)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > nc {
+		workers = nc
+	}
+	chunkTotals := make([]float64, nc)
+	scratch := make([][]float64, workers)
+	for w := range scratch {
+		scratch[w] = make([]float64, k)
+	}
+	par.ForEachWorker(nc, workers, func(w, c int) {
+		sums := scratch[w]
+		lo, hi := par.ChunkBounds(n, pointChunk, c)
+		var sub float64
+		for i := lo; i < hi; i++ {
+			own := assign[i]
+			if sizes[own] <= 1 {
+				continue // singleton contributes 0
+			}
+			// Mean distance to each cluster.
+			for j := range sums {
+				sums[j] = 0
+			}
+			for j := range points {
+				if j == i {
+					continue
+				}
+				sums[assign[j]] += L2(points[i], points[j])
+			}
+			a := sums[own] / float64(sizes[own]-1)
+			b := -1.0
+			for cl := 0; cl < k; cl++ {
+				if cl == own || sizes[cl] == 0 {
+					continue
+				}
+				if m := sums[cl] / float64(sizes[cl]); b < 0 || m < b {
+					b = m
+				}
+			}
+			if b < 0 {
+				continue // no other non-empty cluster
+			}
+			maxAB := a
+			if b > maxAB {
+				maxAB = b
+			}
+			if maxAB > 0 {
+				sub += (b - a) / maxAB
+			}
+		}
+		chunkTotals[c] = sub
+	})
 	var total float64
-	for i := range points {
-		own := assign[i]
-		if sizes[own] <= 1 {
-			continue // singleton contributes 0
-		}
-		// Mean distance to each cluster.
-		sums := make([]float64, k)
-		for j := range points {
-			if j == i {
-				continue
-			}
-			sums[assign[j]] += L2(points[i], points[j])
-		}
-		a := sums[own] / float64(sizes[own]-1)
-		b := -1.0
-		for c := 0; c < k; c++ {
-			if c == own || sizes[c] == 0 {
-				continue
-			}
-			if m := sums[c] / float64(sizes[c]); b < 0 || m < b {
-				b = m
-			}
-		}
-		if b < 0 {
-			continue // no other non-empty cluster
-		}
-		maxAB := a
-		if b > maxAB {
-			maxAB = b
-		}
-		if maxAB > 0 {
-			total += (b - a) / maxAB
-		}
+	for _, t := range chunkTotals {
+		total += t
 	}
 	return total / float64(n), nil
 }

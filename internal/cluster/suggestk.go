@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"edgecachegroups/internal/par"
 	"edgecachegroups/internal/simrand"
 )
 
@@ -13,29 +14,55 @@ import (
 // the k with the maximum perpendicular distance from the straight line
 // joining the curve's endpoints (the "kneedle" heuristic).
 //
+// The kMax clusterings are independent — each k draws from its own
+// src.SplitN("suggestk", k) stream, a pure function of (seed, k) — so
+// they fan out over a worker pool bounded by opts.Parallelism (0 or 1
+// means serial) with bit-identical results at every worker count.
+//
 // The returned curve holds the WithinClusterSS for k = 1..kMax (indexed
 // k-1), so callers can plot or re-analyze it.
 func SuggestK(points []Vector, kMax int, seeder Seeder, opts Options, src *simrand.Source) (int, []float64, error) {
 	if err := validatePoints(points); err != nil {
 		return 0, nil, err
 	}
+	return suggestK(MatrixFromVectors(points), kMax, seeder, opts, src)
+}
+
+// SuggestKMatrix is SuggestK over a flat feature matrix, sharing the
+// backing array across all kMax clustering runs.
+func SuggestKMatrix(points Matrix, kMax int, seeder Seeder, opts Options, src *simrand.Source) (int, []float64, error) {
+	if err := validateMatrix(points); err != nil {
+		return 0, nil, err
+	}
+	return suggestK(points, kMax, seeder, opts, src)
+}
+
+func suggestK(points Matrix, kMax int, seeder Seeder, opts Options, src *simrand.Source) (int, []float64, error) {
 	if kMax < 2 {
 		return 0, nil, fmt.Errorf("cluster: kMax must be >= 2, got %d", kMax)
 	}
-	if kMax > len(points) {
-		kMax = len(points)
+	if kMax > points.Rows() {
+		kMax = points.Rows()
 	}
 	if seeder == nil {
 		seeder = UniformSeeder{}
 	}
 
 	curve := make([]float64, kMax)
-	for k := 1; k <= kMax; k++ {
-		res, err := KMeans(points, k, seeder, opts, src.SplitN("suggestk", k))
+	errs := make([]error, kMax)
+	par.ForEach(kMax, max(opts.Parallelism, 1), func(i int) {
+		k := i + 1
+		res, err := KMeansMatrix(points, k, seeder, opts, src.SplitN("suggestk", k))
 		if err != nil {
-			return 0, nil, fmt.Errorf("k=%d: %w", k, err)
+			errs[i] = fmt.Errorf("k=%d: %w", k, err)
+			return
 		}
-		curve[k-1] = res.WithinClusterSS(points)
+		curve[i] = res.WithinClusterSSMatrix(points)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return 0, nil, err
+		}
 	}
 
 	// Kneedle: distance of each point from the chord between (1, curve[0])

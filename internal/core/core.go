@@ -319,10 +319,13 @@ func (gf *Coordinator) FormGroups(k int) (*Plan, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%v embedding: %w", gf.cfg.Representation, err)
 		}
-		gf.stages.Add("embed", int64(len(points)))
+		gf.stages.Add("embed", int64(points.Rows()))
 	}
 
 	// Step 3: cluster. SDSL biases the initial centers toward the origin.
+	// The clustering consumes the flat feature matrix directly — at
+	// million-cache scale the feature set is one contiguous allocation
+	// end to end, from probe output through the K-means kernel.
 	seeder, err := gf.seeder(serverDist)
 	if err != nil {
 		return nil, err
@@ -331,9 +334,9 @@ func (gf *Coordinator) FormGroups(k int) (*Plan, error) {
 	if algo == 0 {
 		algo = AlgoKMeans
 	}
-	clusterFn := cluster.KMeans
+	clusterFn := cluster.KMeansMatrix
 	if algo == AlgoKMedoids {
-		clusterFn = cluster.KMedoids
+		clusterFn = cluster.KMedoidsMatrix
 	}
 	stopCluster := gf.stages.StartMem("cluster")
 	spanCluster := gf.cfg.Obs.StartSpan("cluster")
@@ -343,14 +346,21 @@ func (gf *Coordinator) FormGroups(k int) (*Plan, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster caches: %w", err)
 	}
-	gf.stages.Add("cluster", int64(len(points)))
+	gf.stages.Add("cluster", int64(points.Rows()))
 	gf.stages.SetParallelism("cluster", gf.cfg.Cluster.Parallelism)
 
+	// The plan's []Vector fields are row views of the flat matrices: one
+	// header-slice allocation each, no data copies.
+	featViews := features.RowViews()
+	pointViews := featViews
+	if !points.IsZero() && &points.Data()[0] != &features.Data()[0] {
+		pointViews = points.RowViews()
+	}
 	plan := &Plan{
 		Scheme:         gf.cfg.Name(),
 		Landmarks:      lms,
-		Features:       features,
-		Points:         points,
+		Features:       featViews,
+		Points:         pointViews,
 		LandmarkCoords: lmCoords,
 		ServerDist:     serverDist,
 		Assignments:    res.Assignments,
@@ -376,12 +386,22 @@ func (gf *Coordinator) FormGroups(k int) (*Plan, error) {
 }
 
 // measureFeatures probes all landmarks from every cache concurrently.
-// It returns per-cache feature vectors and the measured server distances
-// (the component of the feature vector that corresponds to the origin
-// landmark).
-func (gf *Coordinator) measureFeatures(lms []probe.Endpoint) ([]cluster.Vector, []float64, error) {
-	n := gf.nw.NumCaches()
-	features := make([]cluster.Vector, n)
+// It returns the flat per-cache feature matrix and the measured server
+// distances (the component of the feature vector that corresponds to the
+// origin landmark).
+func (gf *Coordinator) measureFeatures(lms []probe.Endpoint) (cluster.Matrix, []float64, error) {
+	return MeasureFeatureMatrix(gf.prober, gf.nw.NumCaches(), lms, gf.cfg.ProbeParallelism)
+}
+
+// MeasureFeatureMatrix probes every cache's RTT to each landmark, filling
+// one flat n×len(lms) feature matrix: building features for n caches
+// costs O(workers) allocations total (the matrix backing, fixed
+// bookkeeping, and one probe.Measurer per worker), not one vector
+// allocation per cache or one RNG allocation per probe. It also returns
+// the per-cache server distances (the origin landmark's column). Exported
+// so the hot-path allocation guards can exercise the exact pipeline path.
+func MeasureFeatureMatrix(p *probe.Prober, n int, lms []probe.Endpoint, parallelism int) (cluster.Matrix, []float64, error) {
+	features := cluster.NewMatrix(n, len(lms))
 	serverDist := make([]float64, n)
 	errs := make([]error, n)
 
@@ -393,31 +413,38 @@ func (gf *Coordinator) measureFeatures(lms []probe.Endpoint) ([]cluster.Vector, 
 		}
 	}
 
-	par.ForEach(n, gf.cfg.ProbeParallelism, func(i int) {
+	// One reusable measurement context per worker: each row is probed
+	// serially by its worker (the per-cache fan-out already saturates the
+	// pool), with zero per-probe allocations. Per-pair streams make the
+	// values independent of which worker measures which row.
+	meas := make([]*probe.Measurer, par.Workers(n, parallelism))
+	for w := range meas {
+		meas[w] = p.NewMeasurer()
+	}
+	par.ForEachWorker(n, parallelism, func(worker, i int) {
 		self := probe.Cache(topology.CacheIndex(i))
-		vals, err := gf.prober.MeasureTo(self, lms)
-		if err != nil {
+		row := features.Row(i)
+		if err := meas[worker].MeasureToInto(self, lms, row); err != nil {
 			errs[i] = err
 			return
 		}
-		features[i] = cluster.Vector(vals)
 		if originIdx >= 0 {
-			serverDist[i] = vals[originIdx]
+			serverDist[i] = row[originIdx]
 		}
 	})
 
 	for i, err := range errs {
 		if err != nil {
-			return nil, nil, fmt.Errorf("cache %d: %w", i, err)
+			return cluster.Matrix{}, nil, fmt.Errorf("cache %d: %w", i, err)
 		}
 	}
 	if originIdx < 0 {
 		// Defensive: every selector includes the origin, but if a custom one
 		// does not, measure server distances directly.
 		for i := 0; i < n; i++ {
-			d, err := gf.prober.Measure(probe.Cache(topology.CacheIndex(i)), probe.Origin())
+			d, err := p.Measure(probe.Cache(topology.CacheIndex(i)), probe.Origin())
 			if err != nil {
-				return nil, nil, fmt.Errorf("measure server distance for cache %d: %w", i, err)
+				return cluster.Matrix{}, nil, fmt.Errorf("measure server distance for cache %d: %w", i, err)
 			}
 			serverDist[i] = d
 		}
@@ -435,28 +462,26 @@ func (gf *Coordinator) gnpConfig() gnp.Config {
 	return cfg
 }
 
-// embed converts landmark feature measurements into GNP coordinates.
-func (gf *Coordinator) embed(lms []probe.Endpoint, features []cluster.Vector) ([]cluster.Vector, [][]float64, error) {
+// embed converts landmark feature measurements into GNP coordinates,
+// assembled directly into one flat coordinate matrix.
+func (gf *Coordinator) embed(lms []probe.Endpoint, features cluster.Matrix) (cluster.Matrix, [][]float64, error) {
 	cfg := gf.gnpConfig()
 	lmMatrix, err := gf.prober.MeasureMatrix(lms)
 	if err != nil {
-		return nil, nil, fmt.Errorf("probe landmark matrix: %w", err)
+		return cluster.Matrix{}, nil, fmt.Errorf("probe landmark matrix: %w", err)
 	}
 	lmCoords, err := gnp.EmbedLandmarks(lmMatrix, cfg, gf.src.Split("gnp/landmarks"))
 	if err != nil {
-		return nil, nil, fmt.Errorf("embed landmarks: %w", err)
+		return cluster.Matrix{}, nil, fmt.Errorf("embed landmarks: %w", err)
 	}
-	toLandmarks := make([][]float64, len(features))
-	for i, f := range features {
-		toLandmarks[i] = f
+	n := features.Rows()
+	toLandmarks := make([][]float64, n)
+	for i := range toLandmarks {
+		toLandmarks[i] = features.Row(i)
 	}
-	coords, err := gnp.EmbedHosts(lmCoords, toLandmarks, cfg, gf.src.Split("gnp/hosts"))
-	if err != nil {
-		return nil, nil, err
-	}
-	points := make([]cluster.Vector, len(coords))
-	for i, c := range coords {
-		points[i] = cluster.Vector(c)
+	points := cluster.NewMatrix(n, len(lmCoords[0]))
+	if err := gnp.EmbedHostsInto(lmCoords, toLandmarks, points.Data(), cfg, gf.src.Split("gnp/hosts")); err != nil {
+		return cluster.Matrix{}, nil, err
 	}
 	return points, lmCoords, nil
 }
@@ -464,28 +489,29 @@ func (gf *Coordinator) embed(lms []probe.Endpoint, features []cluster.Vector) ([
 // embedVivaldi converts landmark feature measurements into Vivaldi
 // coordinates: landmarks converge among themselves first, then each cache
 // relaxes against the fixed landmark coordinates.
-func (gf *Coordinator) embedVivaldi(lms []probe.Endpoint, features []cluster.Vector) ([]cluster.Vector, [][]float64, error) {
+func (gf *Coordinator) embedVivaldi(lms []probe.Endpoint, features cluster.Matrix) (cluster.Matrix, [][]float64, error) {
 	lmMatrix, err := gf.prober.MeasureMatrix(lms)
 	if err != nil {
-		return nil, nil, fmt.Errorf("probe landmark matrix: %w", err)
+		return cluster.Matrix{}, nil, fmt.Errorf("probe landmark matrix: %w", err)
 	}
 	lmCoords, err := vivaldi.EmbedLandmarks(lmMatrix, gf.cfg.Vivaldi, gf.src.Split("vivaldi/landmarks"))
 	if err != nil {
-		return nil, nil, fmt.Errorf("embed landmarks: %w", err)
+		return cluster.Matrix{}, nil, fmt.Errorf("embed landmarks: %w", err)
 	}
-	points := make([]cluster.Vector, len(features))
-	errs := make([]error, len(features))
-	par.ForEach(len(features), gf.cfg.ProbeParallelism, func(i int) {
-		coords, err := vivaldi.EmbedHost(lmCoords, features[i], gf.cfg.Vivaldi, gf.src.SplitN("vivaldi/host", i))
+	n := features.Rows()
+	points := cluster.NewMatrix(n, len(lmCoords[0]))
+	errs := make([]error, n)
+	par.ForEach(n, gf.cfg.ProbeParallelism, func(i int) {
+		coords, err := vivaldi.EmbedHost(lmCoords, features.Row(i), gf.cfg.Vivaldi, gf.src.SplitN("vivaldi/host", i))
 		if err != nil {
 			errs[i] = err
 			return
 		}
-		points[i] = cluster.Vector(coords)
+		copy(points.Row(i), coords)
 	})
 	for i, err := range errs {
 		if err != nil {
-			return nil, nil, fmt.Errorf("embed cache %d: %w", i, err)
+			return cluster.Matrix{}, nil, fmt.Errorf("embed cache %d: %w", i, err)
 		}
 	}
 	return points, lmCoords, nil

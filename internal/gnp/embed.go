@@ -262,14 +262,37 @@ func EmbedHost(landmarks [][]float64, toLandmarks []float64, cfg Config, src *si
 // every worker count.
 func EmbedHosts(landmarks [][]float64, toLandmarks [][]float64, cfg Config, src *simrand.Source) ([][]float64, error) {
 	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
+	n := len(toLandmarks)
+	flat := make([]float64, n*cfg.Dim)
+	if err := EmbedHostsInto(landmarks, toLandmarks, flat, cfg, src); err != nil {
 		return nil, err
 	}
+	coords := make([][]float64, n)
+	for i := range coords {
+		coords[i] = flat[i*cfg.Dim : (i+1)*cfg.Dim : (i+1)*cfg.Dim]
+	}
+	return coords, nil
+}
+
+// EmbedHostsInto is EmbedHosts writing host i's coordinates into
+// out[i*Dim : (i+1)*Dim] of a caller-supplied flat array — the backing
+// store of a flat feature matrix, typically — so assembling coordinates
+// for N hosts adds no per-host result allocations. out must have
+// len(toLandmarks)*Dim elements. Host i's randomness remains
+// src.SplitN("host", i), so the embedding is bit-identical to EmbedHosts
+// at every worker count.
+func EmbedHostsInto(landmarks [][]float64, toLandmarks [][]float64, out []float64, cfg Config, src *simrand.Source) error {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	if src == nil {
-		return nil, fmt.Errorf("gnp: nil random source")
+		return fmt.Errorf("gnp: nil random source")
 	}
 	n := len(toLandmarks)
-	coords := make([][]float64, n)
+	if len(out) != n*cfg.Dim {
+		return fmt.Errorf("gnp: out has %d slots for %d hosts of dim %d", len(out), n, cfg.Dim)
+	}
 	errs := make([]error, n)
 	par.ForEach(n, cfg.Parallelism, func(i int) {
 		c, err := EmbedHost(landmarks, toLandmarks[i], cfg, src.SplitN("host", i))
@@ -277,14 +300,14 @@ func EmbedHosts(landmarks [][]float64, toLandmarks [][]float64, cfg Config, src 
 			errs[i] = err
 			return
 		}
-		coords[i] = c
+		copy(out[i*cfg.Dim:(i+1)*cfg.Dim], c)
 	})
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("embed host %d: %w", i, err)
+			return fmt.Errorf("embed host %d: %w", i, err)
 		}
 	}
-	return coords, nil
+	return nil
 }
 
 // EmbeddingError returns the mean squared relative error of an embedding

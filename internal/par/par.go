@@ -27,6 +27,16 @@ func normalize(n, workers int) int {
 	return workers
 }
 
+// Workers returns the effective worker count ForEach/ForEachWorker will
+// use for n items and the requested bound — the size to allocate for
+// per-worker scratch.
+func Workers(n, workers int) int {
+	if n <= 0 {
+		return 0
+	}
+	return normalize(n, workers)
+}
+
 // ForEach runs fn(i) for every i in [0, n) across at most workers
 // goroutines. With workers <= 1 (or n <= 1) it runs inline with no
 // goroutines and no channel, so serial callers pay nothing. fn must be safe

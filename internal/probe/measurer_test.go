@@ -1,0 +1,106 @@
+package probe
+
+import (
+	"testing"
+
+	"edgecachegroups/internal/simrand"
+)
+
+// TestMeasurerMatchesProberMeasure pins the Measurer contract: the reusable
+// scratch path must reproduce Prober.Measure bit-for-bit — same per-pair
+// stream derivation, same canonical pair ordering (including the byte-wise
+// key comparison matching the string one), same self-measurement shortcut —
+// across origin/cache pairs in both argument orders and with loss/retries
+// enabled.
+func TestMeasurerMatchesProberMeasure(t *testing.T) {
+	nw := testNetwork(t, 30)
+	cfg := DefaultConfig()
+	cfg.LossProb = 0.2 // exercise the retry path too
+	p, err := NewProber(nw, cfg, simrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.NewMeasurer()
+	endpoints := []Endpoint{
+		Origin(), Cache(0), Cache(1), Cache(2), Cache(9), Cache(10), Cache(25),
+	}
+	for _, a := range endpoints {
+		for _, b := range endpoints {
+			want, errWant := p.Measure(a, b)
+			got, errGot := m.Measure(a, b)
+			if (errWant == nil) != (errGot == nil) {
+				t.Fatalf("%v<->%v: error mismatch: %v vs %v", a, b, errWant, errGot)
+			}
+			if got != want {
+				t.Fatalf("%v<->%v: Measurer %v != Prober %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestMeasurerMeasureToIntoMatchesMeasureTo pins the batch path and the
+// serial Prober.MeasureToInto fast path against the parallel fan-out.
+func TestMeasurerMeasureToIntoMatchesMeasureTo(t *testing.T) {
+	nw := testNetwork(t, 30)
+	p, err := NewProber(nw, DefaultConfig(), simrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []Endpoint{Origin(), Cache(3), Cache(14), Cache(7), Cache(7)}
+	want, err := p.MeasureTo(Cache(1), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, len(targets))
+	if err := p.NewMeasurer().MeasureToInto(Cache(1), targets, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("target %d: Measurer %v != MeasureTo %v", i, got[i], want[i])
+		}
+	}
+	serialCfg := DefaultConfig()
+	serialCfg.Parallelism = 1
+	ps, err := NewProber(nw, serialCfg, simrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := make([]float64, len(targets))
+	if err := ps.MeasureToInto(Cache(1), targets, serial); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if serial[i] != want[i] {
+			t.Fatalf("target %d: serial MeasureToInto %v != parallel %v", i, serial[i], want[i])
+		}
+	}
+	if err := p.NewMeasurer().MeasureToInto(Cache(1), targets, make([]float64, 2)); err == nil {
+		t.Fatal("MeasureToInto accepted a short out slice")
+	}
+}
+
+// TestMeasurerAllocationFree pins the whole point of Measurer: repeated
+// measurements must not allocate in steady state, so probing N caches
+// against L landmarks costs O(1) allocations, not O(N·L).
+func TestMeasurerAllocationFree(t *testing.T) {
+	nw := testNetwork(t, 30)
+	p, err := NewProber(nw, DefaultConfig(), simrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.NewMeasurer()
+	targets := []Endpoint{Origin(), Cache(3), Cache(14), Cache(29)}
+	out := make([]float64, len(targets))
+	// Warm once so the scratch buffers reach steady-state capacity.
+	if err := m.MeasureToInto(Cache(12), targets, out); err != nil {
+		t.Fatal(err)
+	}
+	if a := testing.AllocsPerRun(50, func() {
+		if err := m.MeasureToInto(Cache(12), targets, out); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Fatalf("Measurer.MeasureToInto allocates %v per row, want 0", a)
+	}
+}

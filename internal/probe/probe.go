@@ -12,9 +12,11 @@
 package probe
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"sync/atomic"
 
 	"edgecachegroups/internal/par"
@@ -214,16 +216,136 @@ func (p *Prober) sampleOnce(trueRTT float64, src *simrand.Source) (float64, bool
 // out across a bounded worker pool. Results align with targets.
 func (p *Prober) MeasureTo(from Endpoint, targets []Endpoint) ([]float64, error) {
 	out := make([]float64, len(targets))
+	if err := p.MeasureToInto(from, targets, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MeasureToInto is MeasureTo writing into a caller-supplied slice (one row
+// of a flat feature matrix, typically). With Parallelism 1 it probes
+// through a scratch Measurer, costing O(1) allocations per call regardless
+// of the target count — callers that probe many rows (the feature-building
+// stage fans out per cache, making per-target fan-out here redundant)
+// should hold their own Measurer per worker and pay O(1) total. out must
+// have len(targets) elements.
+func (p *Prober) MeasureToInto(from Endpoint, targets []Endpoint, out []float64) error {
+	if p.cfg.Parallelism == 1 {
+		// Per-pair measurement randomness is a pure function of the pair,
+		// so the serial loop measures the same values the parallel
+		// fan-out would.
+		return p.NewMeasurer().MeasureToInto(from, targets, out)
+	}
+	if len(out) != len(targets) {
+		return fmt.Errorf("probe: out has %d slots for %d targets", len(out), len(targets))
+	}
 	errs := make([]error, len(targets))
 	p.forEach(len(targets), func(i int) {
 		out[i], errs[i] = p.Measure(from, targets[i])
 	})
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("target %d: %w", i, err)
+			return fmt.Errorf("target %d: %w", i, err)
 		}
 	}
-	return out, nil
+	return nil
+}
+
+// Measurer is a reusable single-goroutine measurement context. It performs
+// the same measurements as Prober.Measure — bit-identical values, same
+// per-pair stream derivation — but reuses a scratch random source and
+// label buffers so repeated measurements allocate nothing in steady state.
+// The flat-matrix feature build holds one Measurer per worker, making the
+// whole N-cache probing stage O(workers) allocations instead of O(N·L).
+//
+// A Measurer must not be shared across goroutines; create one per worker
+// with NewMeasurer. The overhead counters still aggregate on the parent
+// Prober.
+type Measurer struct {
+	p   *Prober
+	src *simrand.Source // scratch child source, reseeded per pair
+	ka  []byte          // scratch endpoint keys and pair label
+	kb  []byte
+	lbl []byte
+}
+
+// NewMeasurer returns a fresh measurement context bound to p.
+func (p *Prober) NewMeasurer() *Measurer {
+	return &Measurer{
+		p:   p,
+		src: simrand.New(0),
+		ka:  make([]byte, 0, 16),
+		kb:  make([]byte, 0, 16),
+		lbl: make([]byte, 0, 40),
+	}
+}
+
+// appendKey appends e's split-source key (Endpoint.key) to dst without
+// allocating once dst has capacity.
+func appendKey(dst []byte, e Endpoint) []byte {
+	if e.origin {
+		return append(dst, "os"...)
+	}
+	dst = append(dst, "ec"...)
+	return strconv.AppendInt(dst, int64(e.cache), 10)
+}
+
+// Measure is Prober.Measure through the reusable scratch: identical
+// results, zero steady-state allocations.
+func (m *Measurer) Measure(a, b Endpoint) (float64, error) {
+	p := m.p
+	// Canonical pair order so Measure(a,b) == Measure(b,a). The byte-wise
+	// comparison matches the string comparison Prober.Measure performs on
+	// the same keys.
+	m.ka = appendKey(m.ka[:0], a)
+	m.kb = appendKey(m.kb[:0], b)
+	if bytes.Equal(m.ka, m.kb) {
+		p.measurements.Add(1)
+		return 0, nil
+	}
+	ka, kb := m.ka, m.kb
+	if bytes.Compare(ka, kb) > 0 {
+		ka, kb = kb, ka
+	}
+	m.lbl = append(m.lbl[:0], "pair/"...)
+	m.lbl = append(m.lbl, ka...)
+	m.lbl = append(m.lbl, '/')
+	m.lbl = append(m.lbl, kb...)
+	p.seed.SplitInto(m.src, m.lbl)
+	trueRTT := p.TrueRTT(a, b)
+	p.measurements.Add(1)
+
+	var sum float64
+	var got int
+	for s := 0; s < p.cfg.Samples; s++ {
+		v, ok := p.sampleOnce(trueRTT, m.src)
+		if !ok {
+			continue
+		}
+		sum += v
+		got++
+	}
+	if got == 0 {
+		return 0, fmt.Errorf("measure %v<->%v: %w", a, b, ErrProbeFailed)
+	}
+	return sum / float64(got), nil
+}
+
+// MeasureToInto measures from one endpoint to each target serially into
+// out, with zero steady-state allocations. out must have len(targets)
+// elements.
+func (m *Measurer) MeasureToInto(from Endpoint, targets []Endpoint, out []float64) error {
+	if len(out) != len(targets) {
+		return fmt.Errorf("probe: out has %d slots for %d targets", len(out), len(targets))
+	}
+	for i := range targets {
+		v, err := m.Measure(from, targets[i])
+		if err != nil {
+			return fmt.Errorf("target %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return nil
 }
 
 // MeasureMatrix measures the full symmetric matrix among endpoints.

@@ -250,18 +250,23 @@ func (c *Coordinator) Run() (*Result, error) {
 			responsive = append(responsive, ci)
 		}
 	}
-	points := make([]cluster.Vector, len(responsive))
+	points := cluster.NewMatrix(len(responsive), len(landmarks))
 	serverDist := make([]float64, len(responsive))
 	for i, ci := range responsive {
 		rtts := featReplies[ci]
-		fv := make(cluster.Vector, len(rtts))
+		if len(rtts) != len(landmarks) {
+			// A ragged reply previously surfaced as a cluster-validation
+			// error; with the fixed-width matrix it is rejected up front.
+			return nil, &RoundError{Round: "cluster", Err: fmt.Errorf(
+				"cache %d returned %d measurements for %d landmarks", ci, len(rtts), len(landmarks))}
+		}
+		fv := points.Row(i)
 		for j, v := range rtts {
 			if v < 0 {
 				v = 0 // failed single measurement: degrade, don't discard
 			}
 			fv[j] = v
 		}
-		points[i] = fv
 		serverDist[i] = fv[0] // landmark 0 is the origin
 	}
 	var seeder cluster.Seeder = cluster.UniformSeeder{}
@@ -276,10 +281,10 @@ func (c *Coordinator) Run() (*Result, error) {
 		seeder = cluster.WeightedSeeder{Weights: weights}
 	}
 	k := c.cfg.K
-	if k > len(points) {
-		k = len(points)
+	if k > points.Rows() {
+		k = points.Rows()
 	}
-	clustered, err := cluster.KMeans(points, k, seeder, c.cfg.Cluster, c.src.Split("kmeans"))
+	clustered, err := cluster.KMeansMatrix(points, k, seeder, c.cfg.Cluster, c.src.Split("kmeans"))
 	if err != nil {
 		return nil, &RoundError{Round: "cluster", Err: fmt.Errorf("cluster features: %w", err)}
 	}

@@ -45,11 +45,35 @@ func (s *Source) Seed() int64 { return s.seed }
 // the label alone — the same label tree rooted at seed 0 would collide
 // with itself across nominally independent components.
 func (s *Source) Split(label string) *Source {
+	return New(childSeed(s.seed, label))
+}
+
+// SplitInto repositions child at the start of the exact stream that
+// s.Split(string(label)) would produce, reusing child's allocations. It
+// exists for hot paths (per-pair probe measurement) that derive a child
+// stream per item and must not allocate per item. It only reads s's
+// immutable seed, so concurrent SplitInto calls on a shared parent are
+// safe; child itself must be goroutine-private.
+func (s *Source) SplitInto(child *Source, label []byte) {
+	child.Reseed(childSeed(s.seed, label))
+}
+
+// Reseed repositions s at the start of the stream a fresh New(seed) source
+// would produce, reusing s's allocations.
+func (s *Source) Reseed(seed int64) {
+	s.seed = seed
+	s.rng.Seed(seed)
+}
+
+// childSeed derives the child seed for Split/SplitInto: the parent's
+// contribution is seed*prime folded with an FNV-1a hash of the label (see
+// the Split doc comment for the seed-0 remap rationale).
+func childSeed[T string | []byte](seed int64, label T) int64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
-	h := uint64(s.seed)
+	h := uint64(seed)
 	if h == 0 {
 		h = offset64
 	}
@@ -60,7 +84,7 @@ func (s *Source) Split(label string) *Source {
 		fh *= prime64
 	}
 	h = (h * prime64) ^ fh
-	return New(int64(h))
+	return int64(h)
 }
 
 // SplitN derives an independent child source labelled by an index.

@@ -402,3 +402,50 @@ func TestSplitSeedZeroNotDegenerate(t *testing.T) {
 		t.Fatal("seed-0 children emit identical streams")
 	}
 }
+
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	for _, seed := range []int64{0, 1, 77, -5} {
+		parent := New(seed)
+		child := New(999) // arbitrary prior state: SplitInto must overwrite it
+		for _, label := range []string{"pair/ec1/ec2", "pair/ec10/os", "x", ""} {
+			want := parent.Split(label)
+			parent.SplitInto(child, []byte(label))
+			if child.Seed() != want.Seed() {
+				t.Fatalf("seed=%d label=%q: SplitInto seed %d != Split seed %d",
+					seed, label, child.Seed(), want.Seed())
+			}
+			for i := 0; i < 20; i++ {
+				if g, w := child.Float64(), want.Float64(); g != w {
+					t.Fatalf("seed=%d label=%q draw %d: %v != %v", seed, label, i, g, w)
+				}
+			}
+		}
+	}
+}
+
+func TestReseedMatchesNew(t *testing.T) {
+	s := New(1)
+	s.Float64() // advance: Reseed must reset position, not just the seed
+	s.Reseed(42)
+	want := New(42)
+	if s.Seed() != 42 {
+		t.Fatalf("Seed() = %d after Reseed(42)", s.Seed())
+	}
+	for i := 0; i < 20; i++ {
+		if g, w := s.Normal(0, 1), want.Normal(0, 1); g != w {
+			t.Fatalf("draw %d: %v != %v", i, g, w)
+		}
+	}
+}
+
+func TestSplitIntoAllocationFree(t *testing.T) {
+	parent := New(7)
+	child := New(0)
+	label := []byte("pair/ec123/os")
+	if a := testing.AllocsPerRun(100, func() {
+		parent.SplitInto(child, label)
+		child.Float64()
+	}); a != 0 {
+		t.Fatalf("SplitInto allocates %v per call, want 0", a)
+	}
+}

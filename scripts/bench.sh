@@ -9,9 +9,12 @@
 #             see BENCH_PATTERN below; raise for stabler numbers)
 #
 # The pattern covers the serial/parallel pairs (KMeansPar1/8,
-# GNPEmbedHosts1/8, SimShards1/2/4/8), the end-to-end Fig3 sweep, the
-# simulator throughput path whose allocs/op the allocation-lean work
-# targets, and the observability record paths (ObsHistogram = enabled
+# GNPEmbedHosts1/8, SimShards1/2/4/8), the exhaustive-vs-pruned large-N
+# K-means trio (KMeansFlatExhaustive/Pruned/Elkan, whose distevals/op and
+# wall-clock ratio pin the bounds-pruning win), the flat feature-build path
+# (FeatureBuild, with its O(1)-allocation guard), the end-to-end Fig3
+# sweep, the simulator throughput path whose allocs/op the allocation-lean
+# work targets, and the observability record paths (ObsHistogram = enabled
 # per-sample cost, ObsDisabled = nil-handle overhead; both must stay at
 # 0 allocs/op).
 set -eu
@@ -20,7 +23,7 @@ cd "$(dirname "$0")/.."
 
 COUNT="${1:-3}"
 BENCHTIME="${2:-1x}"
-BENCH_PATTERN='BenchmarkKMeansPar|BenchmarkGNPEmbedHosts|BenchmarkFig3GroupSizeSweep|BenchmarkSimulatorThroughput|BenchmarkSimShards|BenchmarkObs'
+BENCH_PATTERN='BenchmarkKMeansPar|BenchmarkKMeansFlat|BenchmarkFeatureBuild|BenchmarkGNPEmbedHosts|BenchmarkFig3GroupSizeSweep|BenchmarkSimulatorThroughput|BenchmarkSimShards|BenchmarkObs'
 OUT="BENCH_pipeline.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
