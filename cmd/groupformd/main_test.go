@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	ecg "edgecachegroups"
+)
+
+// boot runs the daemon with the given extra flags on an ephemeral port and
+// returns the live server (closed on test cleanup).
+func boot(t *testing.T, buf *bytes.Buffer, extra ...string) *ecg.ServeServer {
+	t.Helper()
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-caches", "40", "-k", "4", "-l", "5", "-m", "2",
+		"-interval", "1h",
+	}, extra...)
+	ready := make(chan *ecg.ServeServer, 1)
+	if err := run(args, buf, ready); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	srv := <-ready
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func get(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestDaemonServesFormedPlan(t *testing.T) {
+	var buf bytes.Buffer
+	srv := boot(t, &buf, "-scheme", "sl")
+	base := "http://" + srv.Addr()
+
+	var plan struct {
+		Epoch  uint64 `json:"epoch"`
+		Caches int    `json:"caches"`
+		K      int    `json:"k"`
+		Scheme string `json:"scheme"`
+	}
+	if code := get(t, base+"/plan", &plan); code != http.StatusOK {
+		t.Fatalf("/plan status %d", code)
+	}
+	if plan.Epoch != 1 || plan.Caches != 40 || plan.K != 4 || plan.Scheme != "SL" {
+		t.Fatalf("plan = %+v", plan)
+	}
+
+	var a struct {
+		Group int `json:"group"`
+	}
+	if code := get(t, base+"/assign?cache=0", &a); code != http.StatusOK {
+		t.Fatalf("/assign status %d", code)
+	}
+	if a.Group < 0 || a.Group >= 4 {
+		t.Fatalf("assigned group %d out of range", a.Group)
+	}
+
+	var h struct {
+		Status string `json:"status"`
+	}
+	if code := get(t, base+"/healthz", &h); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("/healthz = %d %q", code, h.Status)
+	}
+	if code := get(t, base+"/metrics", nil); code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(buf.String(), "formed initial plan") {
+		t.Fatalf("boot log missing formation line:\n%s", buf.String())
+	}
+}
+
+func TestDaemonIngestEndpoint(t *testing.T) {
+	var buf bytes.Buffer
+	srv := boot(t, &buf)
+	base := "http://" + srv.Addr()
+
+	dim := srv.Engine().FeatureDim()
+	rtt := make([]float64, dim)
+	for d := range rtt {
+		rtt[d] = 10 + float64(d)
+	}
+	body, _ := json.Marshal(map[string]any{
+		"stats": []map[string]any{{"cache": 0, "rttMS": rtt, "requests": 3}},
+	})
+	resp, err := http.Post(base+"/stats", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("/stats status %d", resp.StatusCode)
+	}
+	if srv.Engine().Stats().Total() != 1 {
+		t.Fatalf("report not recorded: total %d", srv.Engine().Stats().Total())
+	}
+}
+
+func TestDaemonSnapshotRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	var buf bytes.Buffer
+	srv := boot(t, &buf, "-snapshot", path)
+	first := srv.Engine().Epoch()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Restart with a different formation seed: the snapshot must win, so
+	// the plan checksum survives and the epoch sequence keeps rising.
+	var buf2 bytes.Buffer
+	srv2 := boot(t, &buf2, "-snapshot", path, "-seed", "999")
+	second := srv2.Engine().Epoch()
+	if second.Checksum != first.Checksum {
+		t.Fatalf("restart reformed instead of restoring: checksum %016x -> %016x", first.Checksum, second.Checksum)
+	}
+	if second.Seq != first.Seq+1 {
+		t.Fatalf("epoch sequence reset: %d -> %d", first.Seq, second.Seq)
+	}
+	if !strings.Contains(buf2.String(), "restored plan epoch") {
+		t.Fatalf("boot log missing restore line:\n%s", buf2.String())
+	}
+}
+
+func TestDaemonErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scheme", "euclidean"}, &buf, nil); err == nil {
+		t.Fatal("euclidean scheme accepted (embedded representation is not servable)")
+	}
+	if err := run([]string{"-scheme", "bogus"}, &buf, nil); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if err := run([]string{"-caches", "10", "-k", "50"}, &buf, nil); err == nil {
+		t.Fatal("k > caches accepted")
+	}
+	if err := run([]string{"-sample", "2"}, &buf, nil); err == nil {
+		t.Fatal("sample fraction > 1 accepted")
+	}
+}
+
+func TestClampLandmarks(t *testing.T) {
+	tests := []struct {
+		l, m, n      int
+		wantL, wantM int
+	}{
+		{25, 4, 500, 25, 4},
+		{25, 4, 40, 11, 4},
+		{25, 0, 100, 25, 1},
+		{1, 1, 1, 2, 1},
+	}
+	for _, tt := range tests {
+		l, m := clampLandmarks(tt.l, tt.m, tt.n)
+		if l != tt.wantL || m != tt.wantM {
+			t.Errorf("clampLandmarks(%d,%d,%d) = (%d,%d), want (%d,%d)",
+				tt.l, tt.m, tt.n, l, m, tt.wantL, tt.wantM)
+		}
+	}
+}

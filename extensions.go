@@ -8,6 +8,7 @@ import (
 	"edgecachegroups/internal/core"
 	"edgecachegroups/internal/landmark"
 	"edgecachegroups/internal/netsim"
+	"edgecachegroups/internal/serve"
 	"edgecachegroups/internal/topology"
 	"edgecachegroups/internal/workload"
 )
@@ -167,6 +168,40 @@ func DefaultMaintainerConfig() MaintainerConfig { return core.DefaultMaintainerC
 func NewMaintainer(plan *Plan, source FeatureSource, recluster func() (*Plan, error), cfg MaintainerConfig, src *Rand) (*Maintainer, error) {
 	return core.NewMaintainer(plan, source, recluster, cfg, src)
 }
+
+// Serving (the groupformd daemon layer).
+type (
+	// ServeEngine is the long-running group-formation service: ingests
+	// per-cache stats, maintains the plan incrementally, and serves
+	// queries from immutable copy-on-write plan epochs.
+	ServeEngine = serve.Engine
+	// ServeConfig configures a ServeEngine.
+	ServeConfig = serve.Config
+	// PlanEpoch is one immutable published plan generation.
+	PlanEpoch = serve.Epoch
+	// CacheStat is one per-cache ingest record (RTT vector + request count).
+	CacheStat = serve.CacheStat
+	// ServeHealth is the daemon's /healthz body (ok / degraded / down).
+	ServeHealth = serve.Health
+	// ServeServer is a live daemon endpoint (engine loop + HTTP listener).
+	ServeServer = serve.Server
+)
+
+// NewServeEngine builds the serving engine and publishes the boot plan.
+func NewServeEngine(cfg ServeConfig) (*ServeEngine, error) { return serve.NewEngine(cfg) }
+
+// ServeGroups binds addr, starts the engine's maintenance loop, and serves
+// the daemon API (plus the obs endpoints when o is non-nil).
+func ServeGroups(addr string, e *ServeEngine, o *Obs) (*ServeServer, error) {
+	return serve.Serve(addr, e, o)
+}
+
+// SavePlanSnapshot persists an epoch crash-safely (tmp + fsync + rename).
+func SavePlanSnapshot(path string, ep *PlanEpoch) error { return serve.SaveSnapshot(path, ep) }
+
+// LoadPlanSnapshot reloads a persisted epoch, verifying plan invariants
+// and the recorded checksum.
+func LoadPlanSnapshot(path string) (*PlanEpoch, error) { return serve.LoadSnapshot(path) }
 
 // Request tracing.
 type (

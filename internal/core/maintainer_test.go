@@ -2,6 +2,8 @@ package core
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -252,6 +254,378 @@ func TestMaintainerStopWithoutStart(t *testing.T) {
 		t.Fatal(err)
 	}
 	m.Stop() // must not hang
+}
+
+// kmeansMaintPlan builds a 2-group K-means plan whose centers are the
+// exact member means, so it passes the centers-are-means verify check.
+func kmeansMaintPlan(n int) *Plan {
+	p := maintPlan(n)
+	p.Algorithm = AlgoKMeans
+	for g := range p.Centers {
+		mean := make(cluster.Vector, len(p.Points[0]))
+		count := 0
+		for i, a := range p.Assignments {
+			if a != g {
+				continue
+			}
+			count++
+			for j, x := range p.Points[i] {
+				mean[j] += x
+			}
+		}
+		for j := range mean {
+			mean[j] /= float64(count)
+		}
+		p.Centers[g] = mean
+	}
+	return p
+}
+
+// TestRunOnceCopyOnWrite pins the COW contract: a plan snapshot taken
+// before a round is never mutated by the round — the maintainer builds a
+// replacement and swaps the pointer.
+func TestRunOnceCopyOnWrite(t *testing.T) {
+	plan := maintPlan(20)
+	before := plan.Checksum()
+	beforeAssign := append([]int(nil), plan.Assignments...)
+	drifting := map[int]cluster.Vector{0: {199, 201}}
+	source := func(i topology.CacheIndex) (cluster.Vector, error) {
+		if fv, ok := drifting[int(i)]; ok {
+			return fv.Clone(), nil
+		}
+		return plan.Points[int(i)].Clone(), nil
+	}
+	cfg := DefaultMaintainerConfig()
+	cfg.SampleFraction = 1
+	m, err := NewMaintainer(plan, source, nil, cfg, simrand.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Reassigned) != 1 {
+		t.Fatalf("reassigned = %v", ev.Reassigned)
+	}
+	if m.Plan() == plan {
+		t.Fatal("round published the same *Plan it started from; want a copy-on-write replacement")
+	}
+	if plan.Checksum() != before {
+		t.Fatal("round mutated the snapshot a concurrent reader could hold")
+	}
+	for i, a := range plan.Assignments {
+		if a != beforeAssign[i] {
+			t.Fatalf("snapshot assignment %d changed from %d to %d", i, beforeAssign[i], a)
+		}
+	}
+	if g := m.Plan().Assignments[0]; g != 1 {
+		t.Fatalf("published plan has cache 0 in group %d, want 1", g)
+	}
+}
+
+// TestRunOncePlanVerifiesAfterReassignment is the regression test for the
+// stale-centers bug: incremental reassignment moved points without
+// recomputing Centers, so a maintained K-means plan failed the
+// centers-are-means check and its checksum went stale.
+func TestRunOncePlanVerifiesAfterReassignment(t *testing.T) {
+	plan := kmeansMaintPlan(20)
+	if err := plan.Verify(nil); err != nil {
+		t.Fatalf("seed plan invalid: %v", err)
+	}
+	before := plan.Checksum()
+	drifting := map[int]cluster.Vector{0: {199, 201}, 4: {15, 14}}
+	source := func(i topology.CacheIndex) (cluster.Vector, error) {
+		if fv, ok := drifting[int(i)]; ok {
+			return fv.Clone(), nil
+		}
+		return plan.Points[int(i)].Clone(), nil
+	}
+	cfg := DefaultMaintainerConfig()
+	cfg.SampleFraction = 1
+	m, err := NewMaintainer(plan, source, nil, cfg, simrand.New(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Drifted) != 2 {
+		t.Fatalf("drifted = %v", ev.Drifted)
+	}
+	next := m.Plan()
+	if err := next.Verify(nil); err != nil {
+		t.Fatalf("maintained plan fails verification: %v", err)
+	}
+	if next.Checksum() == before {
+		t.Fatal("maintained plan kept the pre-drift checksum despite moved points and centers")
+	}
+	// Cache 4 drifted without changing group: its group's center must
+	// still have been recomputed to the new member mean.
+	if cluster.L2(next.Points[4], cluster.Vector{15, 14}) != 0 {
+		t.Fatal("drifted-in-place point not refreshed")
+	}
+}
+
+// TestRunOnceSampledCountsMeasurements is the regression test for Sampled
+// reporting the requested sample size: failed measurements must move to
+// Skipped, not inflate Sampled.
+func TestRunOnceSampledCountsMeasurements(t *testing.T) {
+	plan := maintPlan(10)
+	source := func(i topology.CacheIndex) (cluster.Vector, error) {
+		if int(i)%2 == 0 {
+			return nil, errors.New("unreachable")
+		}
+		return plan.Points[int(i)].Clone(), nil
+	}
+	cfg := DefaultMaintainerConfig()
+	cfg.SampleFraction = 1
+	m, err := NewMaintainer(plan, source, nil, cfg, simrand.New(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Sampled != 5 || ev.Skipped != 5 {
+		t.Fatalf("Sampled=%d Skipped=%d, want 5/5", ev.Sampled, ev.Skipped)
+	}
+}
+
+// TestReclusterFractionUsesMeasuredCount pins the trigger denominator:
+// with half the sample unreachable and every measured cache drifted, the
+// drift fraction is 100% of measurements — the old requested-size
+// denominator diluted it to 50% and suppressed the recluster.
+func TestReclusterFractionUsesMeasuredCount(t *testing.T) {
+	plan := maintPlan(10)
+	source := func(i topology.CacheIndex) (cluster.Vector, error) {
+		if int(i) < 5 {
+			return nil, errors.New("unreachable")
+		}
+		return cluster.Vector{5000 + float64(i), 5000}, nil
+	}
+	fresh := maintPlan(10)
+	calls := 0
+	recluster := func() (*Plan, error) {
+		calls++
+		return fresh, nil
+	}
+	cfg := DefaultMaintainerConfig()
+	cfg.SampleFraction = 1
+	cfg.ReclusterFraction = 0.5
+	m, err := NewMaintainer(plan, source, recluster, cfg, simrand.New(34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Reclustered || calls != 1 {
+		t.Fatalf("recluster not triggered on 5/5 measured drift (5 skipped): %+v calls=%d", ev, calls)
+	}
+}
+
+// TestRunOnceKeepsLastGroupMember: reassigning a group's only member away
+// would break the partition invariant; the maintainer keeps it in place
+// and the plan still verifies.
+func TestRunOnceKeepsLastGroupMember(t *testing.T) {
+	points := []cluster.Vector{{10, 10}, {11, 10}, {12, 10}, {200, 200}}
+	plan := &Plan{
+		Scheme:      "SL",
+		Points:      points,
+		Features:    append([]cluster.Vector(nil), points...),
+		Assignments: []int{0, 0, 0, 1},
+		Centers:     []cluster.Vector{{11, 10}, {200, 200}},
+		Algorithm:   AlgoKMeans,
+	}
+	// Fix group 0's center to the exact mean so the seed plan verifies.
+	plan.Centers[0] = cluster.Vector{11, 10}
+	drifting := map[int]cluster.Vector{3: {13, 10}} // sole member of group 1 drifts into group 0
+	source := func(i topology.CacheIndex) (cluster.Vector, error) {
+		if fv, ok := drifting[int(i)]; ok {
+			return fv.Clone(), nil
+		}
+		return plan.Points[int(i)].Clone(), nil
+	}
+	cfg := DefaultMaintainerConfig()
+	cfg.SampleFraction = 1
+	cfg.ReclusterFraction = 1 // keep the incremental path
+	m, err := NewMaintainer(plan, source, nil, cfg, simrand.New(35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Reassigned) != 0 {
+		t.Fatalf("sole group member reassigned away: %+v", ev)
+	}
+	next := m.Plan()
+	if g := next.Assignments[3]; g != 1 {
+		t.Fatalf("cache 3 moved to group %d, emptying group 1", g)
+	}
+	if err := next.Verify(nil); err != nil {
+		t.Fatalf("plan invalid after guarded round: %v", err)
+	}
+	// The singleton's center follows its drifted point.
+	if cluster.L2(next.Centers[1], cluster.Vector{13, 10}) != 0 {
+		t.Fatalf("singleton center = %v, want the drifted point", next.Centers[1])
+	}
+}
+
+// TestRunOnceMedoidCentersStayReal: for K-medoids plans the maintainer
+// recomputes the medoid of touched groups instead of a mean, preserving
+// the centers-are-real-points property.
+func TestRunOnceMedoidCentersStayReal(t *testing.T) {
+	plan := maintPlan(6)
+	plan.Algorithm = AlgoKMedoids
+	plan.Centers = []cluster.Vector{plan.Points[1].Clone(), plan.Points[4].Clone()}
+	drifting := map[int]cluster.Vector{0: {201, 199}}
+	source := func(i topology.CacheIndex) (cluster.Vector, error) {
+		if fv, ok := drifting[int(i)]; ok {
+			return fv.Clone(), nil
+		}
+		return plan.Points[int(i)].Clone(), nil
+	}
+	cfg := DefaultMaintainerConfig()
+	cfg.SampleFraction = 1
+	cfg.ReclusterFraction = 1
+	m, err := NewMaintainer(plan, source, nil, cfg, simrand.New(36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	next := m.Plan()
+	for g, c := range next.Centers {
+		found := false
+		for i, a := range next.Assignments {
+			if a == g && cluster.L2(next.Points[i], c) == 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("medoid center %d (%v) is not a member point", g, c)
+		}
+	}
+}
+
+// TestMaintainerLastErrorSticky: round failures must stay observable via
+// LastError (and not only on the droppable events channel).
+func TestMaintainerLastErrorSticky(t *testing.T) {
+	plan := maintPlan(10)
+	source := func(i topology.CacheIndex) (cluster.Vector, error) {
+		return cluster.Vector{9999, 9999}, nil
+	}
+	boom := errors.New("quorum lost")
+	cfg := MaintainerConfig{Interval: time.Second, SampleFraction: 1, DriftThreshold: 0.1, ReclusterFraction: 0.3}
+	m, err := NewMaintainer(plan, source, func() (*Plan, error) { return nil, boom }, cfg, simrand.New(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round, lastErr := m.LastError(); round != 0 || lastErr != nil {
+		t.Fatalf("fresh maintainer reports error %d/%v", round, lastErr)
+	}
+	if _, err := m.RunOnce(); err == nil {
+		t.Fatal("failing recluster reported success")
+	}
+	round, lastErr := m.LastError()
+	if round != 1 || !errors.Is(lastErr, boom) {
+		t.Fatalf("LastError = %d/%v, want round 1 wrapping recluster error", round, lastErr)
+	}
+}
+
+// TestMaintainerErrorEventEvictsStaleSuccess pins the events-channel
+// contract: with the capacity-1 channel already holding a stale success,
+// an error round evicts it instead of being dropped silently.
+func TestMaintainerErrorEventEvictsStaleSuccess(t *testing.T) {
+	plan := maintPlan(10)
+	m, err := NewMaintainer(plan, stableSource(plan), nil, DefaultMaintainerConfig(), simrand.New(38))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.publish(MaintainerEvent{Round: 1})
+	m.publish(MaintainerEvent{Round: 2}) // lagging consumer: dropped
+	m.publish(MaintainerEvent{Round: 3, Err: errors.New("round failed")})
+	select {
+	case ev := <-m.Events():
+		if ev.Round != 3 || ev.Err == nil {
+			t.Fatalf("queued event = %+v, want the round-3 error", ev)
+		}
+	default:
+		t.Fatal("no event queued")
+	}
+}
+
+// TestMaintainerConcurrentHammer drives Start/Stop/Plan/RunOnce and reader
+// traversals concurrently; the -race run is the assertion (this is the
+// regression test for RunOnce mutating the published plan in place).
+func TestMaintainerConcurrentHammer(t *testing.T) {
+	plan := kmeansMaintPlan(40)
+	var flip int32
+	source := func(i topology.CacheIndex) (cluster.Vector, error) {
+		// Alternate rounds drift a handful of caches back and forth.
+		if int(i) < 4 && atomic.LoadInt32(&flip)%2 == 0 {
+			return cluster.Vector{195 + float64(i), 205}, nil
+		}
+		return plan.Points[int(i)].Clone(), nil
+	}
+	cfg := MaintainerConfig{
+		Interval:          time.Millisecond,
+		SampleFraction:    1,
+		DriftThreshold:    0.2,
+		ReclusterFraction: 0.9,
+		Verify:            true,
+	}
+	m, err := NewMaintainer(plan, source, nil, cfg, simrand.New(39))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	deadline := time.Now().Add(150 * time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				p := m.Plan()
+				// Traverse everything a query path would read; the race
+				// detector flags any in-place round mutation.
+				var sum float64
+				for i, a := range p.Assignments {
+					sum += p.Points[i][0] + float64(a)
+				}
+				for _, c := range p.Centers {
+					sum += c[0]
+				}
+				_ = sum
+				_, _ = m.LastError()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			atomic.AddInt32(&flip, 1)
+			if _, err := m.RunOnce(); err != nil {
+				t.Errorf("RunOnce: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	m.Stop()
+	if err := m.Plan().Verify(nil); err != nil {
+		t.Fatalf("final plan invalid: %v", err)
+	}
 }
 
 // TestMaintainerEndToEnd wires the maintainer to a real coordinator and

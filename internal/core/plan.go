@@ -158,6 +158,30 @@ func (p *Plan) RemoveCache(i topology.CacheIndex) error {
 	return nil
 }
 
+// Edited reports whether the plan's assignments were changed without
+// recomputing the centers (Balance, AddCache, RemoveCache), which relaxes
+// the centers-are-means invariant in Verify.
+func (p *Plan) Edited() bool { return p.edited }
+
+// MarkEdited relaxes the centers-are-means invariant in Verify. It is for
+// rebuilding a plan from a serialized snapshot (internal/serve), where the
+// original edited state must survive the round trip; in-package editors
+// set the flag directly.
+func (p *Plan) MarkEdited() { p.edited = true }
+
+// cloneShallow returns a copy of p with fresh top-level slice headers over
+// the shared element vectors. Maintenance replaces elements wholesale
+// (never mutating a vector in place), so readers of the original plan see
+// a consistent snapshot while the clone is edited and swapped in.
+func (p *Plan) cloneShallow() *Plan {
+	q := *p
+	q.Assignments = append([]int(nil), p.Assignments...)
+	q.Points = append([]cluster.Vector(nil), p.Points...)
+	q.Features = append([]cluster.Vector(nil), p.Features...)
+	q.Centers = append([]cluster.Vector(nil), p.Centers...)
+	return &q
+}
+
 // Verify checks the plan's structural invariants: a well-formed partition
 // (every cache in exactly one group, no empty groups), consistent
 // dimensions across points/features/centers, and — for unedited K-means

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"edgecachegroups/internal/cluster"
+	"edgecachegroups/internal/core"
+	"edgecachegroups/internal/probe"
+)
+
+// testPlan builds a 2-group K-means plan over n caches in feature space
+// (2 landmarks → 2-dim RTT vectors) with exact-mean centers, so the
+// verify layer's CentersAreMeans check is active and passing.
+func testPlan(n int) *core.Plan {
+	points := make([]cluster.Vector, n)
+	assigns := make([]int, n)
+	dist := make([]float64, n)
+	for i := range points {
+		if i < n/2 {
+			points[i] = cluster.Vector{10 + float64(i%3), 10}
+			assigns[i] = 0
+		} else {
+			points[i] = cluster.Vector{200 + float64(i%3), 200}
+			assigns[i] = 1
+		}
+		dist[i] = points[i][0]
+	}
+	p := &core.Plan{
+		Scheme:      "SL",
+		Landmarks:   []probe.Endpoint{probe.Origin(), probe.Cache(0)},
+		Points:      points,
+		Features:    append([]cluster.Vector(nil), points...),
+		ServerDist:  dist,
+		Assignments: assigns,
+		Centers:     make([]cluster.Vector, 2),
+		Algorithm:   core.AlgoKMeans,
+		Converged:   true,
+	}
+	for g := range p.Centers {
+		mean := make(cluster.Vector, 2)
+		count := 0
+		for i, a := range p.Assignments {
+			if a != g {
+				continue
+			}
+			for d := range mean {
+				mean[d] += p.Points[i][d]
+			}
+			count++
+		}
+		for d := range mean {
+			mean[d] /= float64(count)
+		}
+		p.Centers[g] = mean
+	}
+	return p
+}
+
+// statsFor converts every plan point into a CacheStat batch (a "no drift"
+// full report).
+func statsFor(p *core.Plan) []CacheStat {
+	batch := make([]CacheStat, p.NumCaches())
+	for i := range batch {
+		batch[i] = CacheStat{Cache: i, RTTMS: append([]float64(nil), p.Points[i]...), Requests: 1}
+	}
+	return batch
+}

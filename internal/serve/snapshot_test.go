@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	plan := testPlan(8)
+	plan.Iterations = 4
+	ep := &Epoch{Seq: 7, Plan: plan, Checksum: plan.Checksum(), Updated: time.Now()}
+	path := filepath.Join(t.TempDir(), "plan.json")
+
+	if err := SaveSnapshot(path, ep); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	got, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	if got.Seq != 7 {
+		t.Fatalf("restored epoch %d, want 7", got.Seq)
+	}
+	if got.Checksum != ep.Checksum {
+		t.Fatalf("restored checksum %016x, want %016x", got.Checksum, ep.Checksum)
+	}
+	q := got.Plan
+	if q.Scheme != plan.Scheme || q.NumCaches() != plan.NumCaches() || q.NumGroups() != plan.NumGroups() {
+		t.Fatalf("restored plan shape %s/%d/%d, want %s/%d/%d",
+			q.Scheme, q.NumCaches(), q.NumGroups(), plan.Scheme, plan.NumCaches(), plan.NumGroups())
+	}
+	if q.Algorithm != plan.Algorithm || q.Iterations != plan.Iterations || q.Converged != plan.Converged {
+		t.Fatalf("restored algorithm metadata %v/%d/%v differs", q.Algorithm, q.Iterations, q.Converged)
+	}
+	if len(q.Landmarks) != 2 || !q.Landmarks[0].IsOrigin() || q.Landmarks[1].IsOrigin() {
+		t.Fatalf("landmarks did not round-trip: %v", q.Landmarks)
+	}
+	for i := range plan.Assignments {
+		if q.Assignments[i] != plan.Assignments[i] {
+			t.Fatalf("assignment %d = %d, want %d", i, q.Assignments[i], plan.Assignments[i])
+		}
+	}
+	if err := q.Verify(nil); err != nil {
+		t.Fatalf("restored plan fails verification: %v", err)
+	}
+	if q.Checksum() != plan.Checksum() {
+		t.Fatalf("restored plan digests to %016x, want %016x", q.Checksum(), plan.Checksum())
+	}
+}
+
+func TestSnapshotEditedFlagRoundTrip(t *testing.T) {
+	plan := testPlan(8)
+	// Move one cache without recomputing centers: only legal as "edited".
+	plan.Assignments[0] = 1
+	plan.MarkEdited()
+	ep := &Epoch{Seq: 2, Plan: plan, Checksum: plan.Checksum(), Updated: time.Now()}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := SaveSnapshot(path, ep); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	got, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	if !got.Plan.Edited() {
+		t.Fatal("edited flag lost in round trip (restored plan would wrongly re-arm CentersAreMeans)")
+	}
+}
+
+func TestSnapshotRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(path); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+func TestSnapshotRejectsChecksumMismatch(t *testing.T) {
+	plan := testPlan(8)
+	ep := &Epoch{Seq: 1, Plan: plan, Checksum: plan.Checksum(), Updated: time.Now()}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := SaveSnapshot(path, ep); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "\"planChecksum\":\"" + checksumHex(ep.Checksum) + "\""
+	tampered := strings.Replace(string(data), want, "\"planChecksum\":\"deadbeefdeadbeef\"", 1)
+	if tampered == string(data) {
+		t.Fatalf("checksum field %q not found in snapshot", want)
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(path); err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("tampered snapshot accepted (err=%v)", err)
+	}
+}
+
+func TestSnapshotRejectsVersionSkew(t *testing.T) {
+	plan := testPlan(8)
+	ep := &Epoch{Seq: 1, Plan: plan, Checksum: plan.Checksum(), Updated: time.Now()}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := SaveSnapshot(path, ep); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	data, _ := os.ReadFile(path)
+	bumped := strings.Replace(string(data), "\"version\":1", "\"version\":99", 1)
+	if err := os.WriteFile(path, []byte(bumped), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version-skewed snapshot accepted (err=%v)", err)
+	}
+}
+
+func TestSnapshotLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	plan := testPlan(8)
+	ep := &Epoch{Seq: 1, Plan: plan, Checksum: plan.Checksum(), Updated: time.Now()}
+	path := filepath.Join(dir, "plan.json")
+	for i := 0; i < 3; i++ {
+		if err := SaveSnapshot(path, ep); err != nil {
+			t.Fatalf("SaveSnapshot %d: %v", i, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "plan.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("snapshot dir holds %v, want exactly [plan.json]", names)
+	}
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStatsBufferMergeSemantics(t *testing.T) {
+	b := NewStatsBuffer()
+	b.Record(CacheStat{Cache: 3, RTTMS: []float64{10, 20}, Requests: 5})
+	b.Record(CacheStat{Cache: 3, RTTMS: []float64{11, 21}, Requests: 7})
+	b.Record(CacheStat{Cache: 9, RTTMS: []float64{1, 2}})
+
+	stats, n := b.Swap()
+	if n != 3 {
+		t.Fatalf("window merged %d reports, want 3", n)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("window has %d caches, want 2", len(stats))
+	}
+	got := stats[3]
+	if got.RTTMS[0] != 11 || got.RTTMS[1] != 21 {
+		t.Fatalf("cache 3 RTT = %v, want the latest report {11 21}", got.RTTMS)
+	}
+	if got.Requests != 12 {
+		t.Fatalf("cache 3 requests = %d, want accumulated 12", got.Requests)
+	}
+	if b.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", b.Total())
+	}
+
+	// The next window starts empty.
+	stats, n = b.Swap()
+	if len(stats) != 0 || n != 0 {
+		t.Fatalf("fresh window not empty: %d caches, %d reports", len(stats), n)
+	}
+}
+
+// TestStatsBufferSwapRace hammers Record against Swap and checks
+// conservation: every accepted report lands in exactly one window — the
+// sealed-retry loop must not lose writes into drained buffers. Run with
+// -race.
+func TestStatsBufferSwapRace(t *testing.T) {
+	b := NewStatsBuffer()
+	const writers = 8
+	const perWriter = 500
+
+	var wg sync.WaitGroup
+	var swapped sync.WaitGroup
+	var mu sync.Mutex
+	var drained int64
+	stopSwaps := make(chan struct{})
+
+	swapped.Add(1)
+	go func() {
+		defer swapped.Done()
+		for {
+			_, n := b.Swap()
+			mu.Lock()
+			drained += n
+			mu.Unlock()
+			select {
+			case <-stopSwaps:
+				return
+			default:
+			}
+		}
+	}()
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				b.Record(CacheStat{Cache: w, RTTMS: []float64{float64(i)}, Requests: 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopSwaps)
+	swapped.Wait()
+
+	// A final drain catches writes that landed after the swapper's last pass.
+	_, n := b.Swap()
+	drained += n
+
+	want := int64(writers * perWriter)
+	if drained != want {
+		t.Fatalf("drained %d reports across windows, want %d (lost writes)", drained, want)
+	}
+	if b.Total() != want {
+		t.Fatalf("Total = %d, want %d", b.Total(), want)
+	}
+}

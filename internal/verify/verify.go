@@ -214,6 +214,31 @@ func CentersAreMeans(points []cluster.Vector, assignments []int, centers []clust
 	return nil
 }
 
+// StatVector checks one ingested measurement vector before it enters the
+// maintenance pipeline: the expected dimension (wantDim 0 skips the
+// check), every component finite, and every component non-negative (RTTs
+// are non-negative by construction). The serving daemon audits every
+// POSTed per-cache stat report through this check so malformed input is
+// rejected at the edge instead of corrupting feature vectors, drift
+// detection, or plan checksums downstream.
+func StatVector(name string, v []float64, wantDim int) error {
+	if len(v) == 0 {
+		return fail("ingest", "%s is empty", name)
+	}
+	if wantDim > 0 && len(v) != wantDim {
+		return fail("ingest", "%s has dimension %d, want %d", name, len(v), wantDim)
+	}
+	for j, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fail("ingest", "%s[%d] is %v", name, j, x)
+		}
+		if x < 0 {
+			return fail("ingest", "%s[%d] is negative: %v", name, j, x)
+		}
+	}
+	return nil
+}
+
 // ReportData is the flattened view of a simulation report, decoupled from
 // the netsim package to avoid an import cycle (netsim calls into verify).
 type ReportData struct {

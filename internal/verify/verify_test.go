@@ -2,6 +2,7 @@ package verify
 
 import (
 	"errors"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -169,6 +170,39 @@ func TestReportChecks(t *testing.T) {
 	}
 }
 
+func TestStatVector(t *testing.T) {
+	if err := StatVector("rtt", []float64{1, 2, 3}, 3); err != nil {
+		t.Fatalf("valid vector rejected: %v", err)
+	}
+	if err := StatVector("rtt", []float64{1, 2, 3}, 0); err != nil {
+		t.Fatalf("wantDim 0 must skip the dimension check: %v", err)
+	}
+	bad := []struct {
+		name    string
+		v       []float64
+		wantDim int
+	}{
+		{"empty", nil, 0},
+		{"wrong dim", []float64{1, 2}, 3},
+		{"NaN", []float64{1, nan()}, 2},
+		{"Inf", []float64{inf(), 1}, 2},
+		{"negative", []float64{1, -0.5}, 2},
+	}
+	for _, tc := range bad {
+		err := StatVector("rtt", tc.v, tc.wantDim)
+		if err == nil {
+			t.Fatalf("%s vector accepted", tc.name)
+		}
+		var ve *Error
+		if !errors.As(err, &ve) || ve.Stage != "ingest" {
+			t.Fatalf("%s: error %v is not a verify ingest error", tc.name, err)
+		}
+	}
+}
+
+func nan() float64 { return math.NaN() }
+func inf() float64 { return math.Inf(1) }
+
 func TestDigestStability(t *testing.T) {
 	mk := func() uint64 {
 		d := NewDigest()
@@ -222,11 +256,6 @@ func TestStages(t *testing.T) {
 	if len(s.Snapshot()) != 0 {
 		t.Fatal("Reset did not clear stages")
 	}
-}
-
-func nan() float64 {
-	z := 0.0
-	return z / z
 }
 
 // pickSeeds is a cluster.Seeder returning fixed indices.

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Daemon smoke: boot groupformd on an ephemeral port, ingest one stats
+# report, and assert /plan, /assign, /healthz, and /metrics answer.
+# Mirrors the non-blocking daemon-smoke CI job; run locally as
+#   scripts/daemon_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${1:-127.0.0.1:9754}"
+SNAP="$(mktemp -d)/plan.json"
+
+go build -o /tmp/groupformd ./cmd/groupformd
+/tmp/groupformd -addr "$ADDR" -caches 40 -k 4 -l 5 -m 2 \
+  -interval 2s -snapshot "$SNAP" &
+daemon=$!
+trap 'kill "$daemon" 2>/dev/null || true' EXIT
+
+# Wait for the listener.
+for _ in $(seq 1 50); do
+  if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+
+fail() { echo "daemon-smoke: $1" >&2; exit 1; }
+
+plan=$(curl -sf "http://$ADDR/plan") || fail "/plan unreachable"
+echo "$plan" | grep -q '"epoch"' || fail "/plan missing epoch: $plan"
+
+assign=$(curl -sf "http://$ADDR/assign?cache=0") || fail "/assign unreachable"
+echo "$assign" | grep -q '"group"' || fail "/assign missing group: $assign"
+
+curl -sf -X POST "http://$ADDR/stats" \
+  -d '[{"cache":0,"rttMS":[10,11,12,13,14],"requests":3}]' >/dev/null \
+  || fail "POST /stats rejected"
+
+health=$(curl -sf "http://$ADDR/healthz") || fail "/healthz unreachable"
+echo "$health" | grep -q '"status":"ok"' || fail "unhealthy at boot: $health"
+
+curl -sf "http://$ADDR/metrics" | grep -q 'serve_epochs_published' \
+  || fail "/metrics missing serve counters"
+
+# Graceful shutdown persists the snapshot.
+kill "$daemon"
+wait "$daemon" 2>/dev/null || true
+test -s "$SNAP" || fail "no snapshot persisted at $SNAP"
+
+echo "daemon-smoke: OK (plan epoch served, stats ingested, snapshot persisted)"
