@@ -9,6 +9,7 @@ package ecg_test
 // cmd/ecgsim for the paper-scale numbers recorded in EXPERIMENTS.md.
 
 import (
+	"os"
 	"testing"
 
 	ecg "edgecachegroups"
@@ -17,6 +18,7 @@ import (
 	"edgecachegroups/internal/experiments"
 	"edgecachegroups/internal/gnp"
 	"edgecachegroups/internal/landmark"
+	"edgecachegroups/internal/lint"
 	"edgecachegroups/internal/netsim"
 	"edgecachegroups/internal/probe"
 	"edgecachegroups/internal/simrand"
@@ -627,5 +629,28 @@ func BenchmarkObsDisabled(b *testing.B) {
 	}
 	if a := testing.AllocsPerRun(100, func() { h.Record(42); c.Inc() }); a != 0 {
 		b.Fatalf("disabled path allocates %v per op, want 0", a)
+	}
+}
+
+// BenchmarkEcglintModule times a full-module run of the interprocedural
+// lint engine — load, type-check, call-graph construction, summary
+// fixpoint, and all analyzers over every non-testdata package. This is
+// the cost a CI lint gate pays per invocation; tracked non-blocking so
+// engine growth (new rules, deeper summaries) stays visible in the
+// baseline without failing builds.
+func BenchmarkEcglintModule(b *testing.B) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pkgs, err := lint.Load(cwd, []string{"./..."})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if findings := lint.Run(pkgs, lint.Analyzers()); len(findings) != 0 {
+			b.Fatalf("module is not lint-clean: %d findings", len(findings))
+		}
 	}
 }

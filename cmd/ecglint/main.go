@@ -2,21 +2,31 @@
 // determinism and concurrency invariants the reproduction depends on
 // (no wall clock or global math/rand in simulation code, no
 // map-iteration order feeding results, no blocking channel operations
-// under a mutex), enforced at build time instead of waiting for a seed
-// to expose a violation dynamically.
+// under a mutex, no mutation of atomically published values, no silent
+// error drops, no cross-worker scratch sharing), enforced at build time
+// instead of waiting for a seed to expose a violation dynamically. The
+// suite is interprocedural: a wall-clock read or blocking operation
+// buried several calls deep is attributed to the simulation-package
+// call site that reaches it.
 //
 // Usage:
 //
-//	ecglint [-rules] [packages]
+//	ecglint [-rules] [-json] [-audit] [packages]
 //
 // Packages default to ./... relative to the current module. The exit
 // status is 1 when any finding survives the //ecglint:allow directives,
 // so CI can gate on it directly:
 //
 //	go run ./cmd/ecglint ./...
+//
+// -json prints findings as a position-sorted JSON array instead of
+// text. -audit prints every //ecglint:allow directive in the module
+// with its rule, reason, and location, and exits 1 if any directive is
+// malformed, names an unknown rule, or is stale (suppresses nothing).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +45,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ecglint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	rules := fs.Bool("rules", false, "print the rule table and exit")
+	asJSON := fs.Bool("json", false, "print findings as a JSON array")
+	audit := fs.Bool("audit", false, "list every ecglint:allow directive; fail on malformed or stale ones")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -62,9 +74,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ecglint:", err)
 		return 2
 	}
-	findings := lint.Run(pkgs, analyzers)
-	for _, f := range findings {
-		fmt.Fprintln(stdout, relativize(cwd, f).String())
+	findings, allows := lint.Audit(pkgs, analyzers)
+	for i := range findings {
+		findings[i] = relativize(cwd, findings[i])
+	}
+
+	if *audit {
+		return runAudit(findings, allows, cwd, stdout, stderr, *asJSON)
+	}
+	if *asJSON {
+		if err := writeJSON(stdout, findingsJSON(findings)); err != nil {
+			fmt.Fprintln(stderr, "ecglint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "ecglint: %d finding(s)\n", len(findings))
@@ -73,11 +99,95 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// jsonFinding is the stable machine-readable finding shape.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func findingsJSON(findings []lint.Finding) []jsonFinding {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+			Rule: f.Rule, Message: f.Message,
+		})
+	}
+	return out
+}
+
+// jsonAllow is the stable machine-readable suppression-audit shape.
+type jsonAllow struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Rule   string `json:"rule"`
+	Reason string `json:"reason"`
+	Stale  bool   `json:"stale"`
+}
+
+// runAudit renders the suppression audit trail. The directive
+// pseudo-rule findings (malformed, unknown-rule, stale) are the failure
+// conditions: a suppression that excuses nothing, or excuses it without
+// a reason, is an audit-trail hole.
+func runAudit(findings []lint.Finding, allows []lint.Allow, cwd string, stdout, stderr io.Writer, asJSON bool) int {
+	var bad []lint.Finding
+	for _, f := range findings {
+		if f.Rule == "directive" {
+			bad = append(bad, f)
+		}
+	}
+	if asJSON {
+		out := make([]jsonAllow, 0, len(allows))
+		for _, a := range allows {
+			out = append(out, jsonAllow{
+				File: relPath(cwd, a.Pos.Filename), Line: a.Pos.Line,
+				Rule: a.Rule, Reason: a.Reason, Stale: a.Stale,
+			})
+		}
+		if err := writeJSON(stdout, out); err != nil {
+			fmt.Fprintln(stderr, "ecglint:", err)
+			return 2
+		}
+	} else {
+		tw := tabwriter.NewWriter(stdout, 0, 4, 2, ' ', 0)
+		for _, a := range allows {
+			state := "ok"
+			if a.Stale {
+				state = "STALE"
+			}
+			fmt.Fprintf(tw, "%s:%d\t%s\t%s\t%s\n", relPath(cwd, a.Pos.Filename), a.Pos.Line, a.Rule, state, a.Reason)
+		}
+		tw.Flush()
+	}
+	if len(bad) > 0 {
+		for _, f := range bad {
+			fmt.Fprintln(stderr, f.String())
+		}
+		fmt.Fprintf(stderr, "ecglint: %d suppression problem(s)\n", len(bad))
+		return 1
+	}
+	return 0
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
 // relativize shortens the finding's filename to a cwd-relative path for
 // readable, clickable output.
 func relativize(cwd string, f lint.Finding) lint.Finding {
-	if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && len(rel) < len(f.Pos.Filename) {
-		f.Pos.Filename = rel
-	}
+	f.Pos.Filename = relPath(cwd, f.Pos.Filename)
 	return f
+}
+
+func relPath(cwd, path string) string {
+	if rel, err := filepath.Rel(cwd, path); err == nil && len(rel) < len(path) {
+		return rel
+	}
+	return path
 }

@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the interprocedural layer the v2 analyzers run on: a
+// static call graph over every function and method declared in the
+// loaded packages, with method-set resolution for concrete receiver
+// types and name-based resolution for interface dispatch. The graph is
+// keyed by types.Func.FullName() rather than object identity because
+// the loader type-checks each package directory independently: the
+// *types.Func a caller resolves through go/importer's source mode is a
+// different object from the one created when the callee's own package
+// was loaded, but both render the same full name.
+//
+// Soundness limits (documented in DESIGN.md §9): calls through function
+// values (fields, parameters, variables) produce no edge; interface
+// dispatch is resolved by method-name sets, which over-approximates the
+// implementing types (fine for taint propagation); the standard library
+// is opaque except for the known root sets (time.* wall-clock reads,
+// sync blocking waits).
+
+// program is the whole-run analysis state shared by every analyzer: the
+// packages under analysis, the interprocedural call graph over their
+// declared functions, and the transitive summaries computed from it.
+type program struct {
+	pkgs []*Package
+	sup  *suppressions
+	// funcs indexes every declared function/method by FullName.
+	funcs map[string]*funcNode
+	// nodes holds the same set in deterministic (package, position) order.
+	nodes []*funcNode
+	// methodsByName indexes declared methods for interface dispatch.
+	methodsByName map[string][]*funcNode
+	// recvNames caches the method-name set of each receiver base type.
+	recvNames map[*types.Named]map[string]bool
+	// witness memos (computed post-fixpoint, deterministic edge order).
+	wallMemo  map[*funcNode]string
+	blockMemo map[*funcNode]string
+}
+
+// funcNode is one declared function or method with a body, plus its
+// outgoing call edges and computed transitive summary.
+type funcNode struct {
+	name    string // types.Func.FullName()
+	fn      *types.Func
+	pkg     *Package
+	decl    *ast.FuncDecl
+	edges   []callEdge
+	summary summary
+	// params maps receiver+parameter objects to their summary position
+	// (receiver first), for mutates-parameter propagation.
+	params map[types.Object]int
+	// retCallees are resolved callees whose result this function returns
+	// directly, for returns-atomic-load propagation.
+	retCallees []*funcNode
+}
+
+// callEdge is one static call site inside a function's body.
+type callEdge struct {
+	callee *funcNode
+	call   *ast.CallExpr
+	// inFuncLit: the call sits inside a nested function literal, whose
+	// execution context (goroutine, defer, callback) is not the caller's.
+	inFuncLit bool
+	// inGo: the call is spawned by a go statement.
+	inGo bool
+}
+
+// newProgram builds the call graph and summaries over pkgs and installs
+// a back-pointer on every package so analyzers can reach the engine.
+func newProgram(pkgs []*Package, sup *suppressions) *program {
+	p := &program{
+		pkgs:          pkgs,
+		sup:           sup,
+		funcs:         make(map[string]*funcNode),
+		methodsByName: make(map[string][]*funcNode),
+		recvNames:     make(map[*types.Named]map[string]bool),
+		wallMemo:      make(map[*funcNode]string),
+		blockMemo:     make(map[*funcNode]string),
+	}
+	for _, pkg := range pkgs {
+		pkg.prog = p
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &funcNode{name: fn.FullName(), fn: fn, pkg: pkg, decl: fd}
+				p.funcs[n.name] = n
+				p.nodes = append(p.nodes, n)
+				if fd.Recv != nil {
+					p.methodsByName[fn.Name()] = append(p.methodsByName[fn.Name()], n)
+				}
+			}
+		}
+	}
+	for _, n := range p.nodes {
+		p.collectEdges(n)
+		p.collectBaseFacts(n)
+	}
+	p.propagate()
+	return p
+}
+
+// node returns the graph node for a resolved function, or nil.
+func (p *program) node(fn *types.Func) *funcNode {
+	if fn == nil {
+		return nil
+	}
+	return p.funcs[fn.FullName()]
+}
+
+// posRange is a half-open source interval used to classify call sites.
+type posRange struct{ lo, hi token.Pos }
+
+func (r posRange) contains(pos token.Pos) bool { return pos > r.lo && pos < r.hi }
+
+func inAny(rs []posRange, pos token.Pos) bool {
+	for _, r := range rs {
+		if r.contains(pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectEdges records every statically resolvable call in n's body,
+// flagging calls nested in function literals or go statements.
+func (p *program) collectEdges(n *funcNode) {
+	var lits, gos []posRange
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		switch v := node.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, posRange{v.Pos(), v.End()})
+		case *ast.GoStmt:
+			gos = append(gos, posRange{v.Pos(), v.End()})
+		}
+		return true
+	})
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, callee := range p.resolve(n.pkg, call) {
+			n.edges = append(n.edges, callEdge{
+				callee:    callee,
+				call:      call,
+				inFuncLit: inAny(lits, call.Pos()),
+				inGo:      inAny(gos, call.Pos()),
+			})
+		}
+		return true
+	})
+}
+
+// resolve maps a call expression to its candidate callee nodes: one node
+// for a direct function or concrete-method call, every name-compatible
+// declared method for an interface-dispatch call, nil for calls through
+// function values or to functions outside the loaded packages.
+func (p *program) resolve(pkg *Package, call *ast.CallExpr) []*funcNode {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			if n := p.node(fn); n != nil {
+				return []*funcNode{n}
+			}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return nil
+		}
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+				return p.dispatch(iface, fn.Name())
+			}
+		}
+		if n := p.node(fn); n != nil {
+			return []*funcNode{n}
+		}
+	}
+	return nil
+}
+
+// dispatch returns the declared methods a call through iface's method
+// named method could reach: every loaded concrete method of that name
+// whose receiver type's method-name set covers the interface. Matching
+// is by name, not full signatures, because the interface and the
+// concrete type may have been type-checked in different universes (see
+// the file comment); the over-approximation only ever adds edges.
+func (p *program) dispatch(iface *types.Interface, method string) []*funcNode {
+	want := make([]string, 0, iface.NumMethods())
+	for i := 0; i < iface.NumMethods(); i++ {
+		want = append(want, iface.Method(i).Name())
+	}
+	var out []*funcNode
+	for _, cand := range p.methodsByName[method] {
+		names := p.receiverMethodNames(cand)
+		if names == nil {
+			continue
+		}
+		ok := true
+		for _, w := range want {
+			if !names[w] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// receiverMethodNames returns the method-name set of node's receiver
+// base type (through a pointer receiver, so value methods count too).
+func (p *program) receiverMethodNames(n *funcNode) map[string]bool {
+	recv := n.fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if names, ok := p.recvNames[named]; ok {
+		return names
+	}
+	names := make(map[string]bool)
+	mset := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < mset.Len(); i++ {
+		names[mset.At(i).Obj().Name()] = true
+	}
+	p.recvNames[named] = names
+	return names
+}
+
+// shortFuncName renders a function for findings: package-qualified with
+// the import path shortened to its final segment.
+func shortFuncName(fn *types.Func) string {
+	full := fn.FullName()
+	if pkg := fn.Pkg(); pkg != nil {
+		path := pkg.Path()
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			full = strings.ReplaceAll(full, path, path[i+1:])
+		}
+	}
+	return full
+}
+
+// sortFindings orders findings by (file, line, column, rule).
+func sortFindings(out []Finding) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}

@@ -86,6 +86,47 @@ func (DetClock) Run(pkg *Package) []Finding {
 			return true
 		})
 	}
+	out = append(out, detClockTransitive(pkg)...)
+	return out
+}
+
+// detClockTransitive flags calls from this simulation package into
+// helpers — however many frames deep — that reach the wall clock. Only
+// edges crossing into non-simulation packages are reported: a tainted
+// callee inside a simulation package carries its own finding at the
+// offending site, so reporting the call too would double-count.
+func detClockTransitive(pkg *Package) []Finding {
+	if pkg.prog == nil {
+		return nil
+	}
+	var out []Finding
+	seen := make(map[string]bool)
+	for _, n := range pkg.prog.nodes {
+		if n.pkg != pkg {
+			continue
+		}
+		for _, e := range n.edges {
+			c := e.callee
+			if !c.summary.wallClock || clockExempt(c.pkg) {
+				continue
+			}
+			if simPackages[pathTail(c.pkg.Path)] || simPackages[c.pkg.Types.Name()] {
+				continue // reported at the callee's own site
+			}
+			pos := pkg.Fset.Position(e.call.Pos())
+			key := pos.Filename + "\x00" + pos.String()
+			if seen[key] {
+				continue // interface dispatch can yield several candidates
+			}
+			seen[key] = true
+			out = append(out, Finding{
+				Pos:  pos,
+				Rule: "detclock",
+				Message: "call to " + shortFuncName(c.fn) + " reaches " + pkg.prog.wallWitness(c) +
+					" in simulation package " + pkg.Types.Name() + "; use simulated time (or annotate a sanctioned wall-clock path)",
+			})
+		}
+	}
 	return out
 }
 

@@ -23,7 +23,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 )
 
 // Finding is one rule violation at a source position.
@@ -51,6 +50,19 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// prog is the interprocedural engine built over the whole run's
+	// package set; Run installs it before analyzers execute.
+	prog *program
+}
+
+// Allow is the audit view of one //ecglint:allow directive.
+type Allow struct {
+	Pos    token.Position
+	Rule   string
+	Reason string
+	// Stale: the directive matched no finding or sanctioned call path
+	// during the run.
+	Stale bool
 }
 
 // Analyzer is a single lint rule.
@@ -70,40 +82,44 @@ func Analyzers() []Analyzer {
 		DetRand{},
 		MapOrder{},
 		LockedSend{},
+		CowMutate{},
+		ErrDrop{},
+		ScratchShare{},
 	}
 }
 
 // Run applies every analyzer to every package, filters findings through
 // the //ecglint:allow directives found in the sources, and returns the
 // surviving findings sorted by position. Malformed or unknown-rule
-// directives are themselves reported under the "directive" pseudo-rule.
+// directives are themselves reported under the "directive" pseudo-rule,
+// as are well-formed directives that matched nothing (stale
+// suppressions).
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	out, _ := Audit(pkgs, analyzers)
+	return out
+}
+
+// Audit is Run plus the suppression audit trail: it returns the
+// surviving findings and the full list of //ecglint:allow directives
+// with their reasons and staleness.
+func Audit(pkgs []*Package, analyzers []Analyzer) ([]Finding, []Allow) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name()] = true
 	}
-	var out []Finding
+	// Suppressions must exist before the engine: summary construction
+	// consults them so a sanctioned direct site does not taint callers.
+	sup := newSuppressions(pkgs, known)
+	newProgram(pkgs, sup)
+	out := append([]Finding(nil), sup.bad...)
 	for _, pkg := range pkgs {
 		var raw []Finding
 		for _, a := range analyzers {
 			raw = append(raw, a.Run(pkg)...)
 		}
-		dirs, bad := directives(pkg, known)
-		out = append(out, bad...)
-		out = append(out, suppress(raw, dirs)...)
+		out = append(out, sup.filter(raw)...)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Rule < b.Rule
-	})
-	return out
+	out = append(out, sup.stale()...)
+	sortFindings(out)
+	return out, sup.allows()
 }

@@ -130,9 +130,17 @@ func TestRepoIsLintClean(t *testing.T) {
 			t.Fatalf("recursive walk descended into testdata: %s", pkg.Path)
 		}
 	}
-	findings := lint.Run(pkgs, lint.Analyzers())
+	findings, allows := lint.Audit(pkgs, lint.Analyzers())
 	for _, f := range findings {
 		t.Errorf("%s", f)
+	}
+	// Every suppression in the tree must carry an audited reason and
+	// still guard a live violation; stale ones already surfaced above as
+	// directive findings, so this guards the reason text specifically.
+	for _, a := range allows {
+		if strings.TrimSpace(a.Reason) == "" {
+			t.Errorf("%s:%d: ecglint:allow %s has no reason", a.Pos.Filename, a.Pos.Line, a.Rule)
+		}
 	}
 }
 
@@ -150,9 +158,46 @@ func TestAnalyzerMetadata(t *testing.T) {
 		}
 		seen[name] = true
 	}
-	for _, want := range []string{"detclock", "detrand", "maporder", "lockedsend"} {
+	for _, want := range []string{"detclock", "detrand", "maporder", "lockedsend", "cowmutate", "errdrop", "scratchshare"} {
 		if !seen[want] {
 			t.Fatalf("suite is missing required rule %q", want)
 		}
+	}
+}
+
+// TestTransitiveOneCallDeep pins the acceptance criterion directly:
+// detclock and lockedsend must catch violations hidden exactly one call
+// level deep, with the witness chain naming the hidden frame.
+func TestTransitiveOneCallDeep(t *testing.T) {
+	pkgs := loadFixtures(t, "testdata/src/transitive/...")
+	findings := lint.Run(pkgs, lint.Analyzers())
+	var gotClock, gotLock bool
+	for _, f := range findings {
+		switch {
+		case f.Rule == "detclock" && strings.Contains(f.Message, "clockutil.HiddenNow"):
+			gotClock = true
+		case f.Rule == "lockedsend" && strings.Contains(f.Message, "blockutil.Drain → channel receive"):
+			gotLock = true
+		}
+	}
+	if !gotClock {
+		t.Errorf("detclock missed the wall-clock call one frame deep:\n%s", render(t, findings))
+	}
+	if !gotLock {
+		t.Errorf("lockedsend missed the blocking call one frame deep:\n%s", render(t, findings))
+	}
+}
+
+// TestStaleAllowIsReported keeps suppressions from outliving their
+// violation: a well-formed directive guarding nothing must surface.
+func TestStaleAllowIsReported(t *testing.T) {
+	pkgs := loadFixtures(t, "testdata/src/staleallow")
+	findings := lint.Run(pkgs, lint.Analyzers())
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly 1 stale-directive report:\n%s", len(findings), render(t, findings))
+	}
+	f := findings[0]
+	if f.Rule != "directive" || !strings.Contains(f.Message, "stale") {
+		t.Fatalf("unexpected finding %s", f)
 	}
 }

@@ -198,6 +198,8 @@ func checkRegionStmt(pkg *Package, stmt ast.Stmt, lockExpr string, scopePos toke
 		switch v := n.(type) {
 		case *ast.FuncLit:
 			return false
+		case *ast.GoStmt:
+			return false // spawned goroutine does not hold the caller's lock
 		case *ast.SelectStmt:
 			if selectHasDefault(v) {
 				return false // non-blocking by construction
@@ -206,6 +208,10 @@ func checkRegionStmt(pkg *Package, stmt ast.Stmt, lockExpr string, scopePos toke
 			return false
 		case *ast.SendStmt:
 			report(v, "channel send "+types.ExprString(v.Chan)+" <- ...")
+		case *ast.RangeStmt:
+			if isChanType(pkg.Info.TypeOf(v.X)) {
+				report(v, "range over channel "+types.ExprString(v.X))
+			}
 		case *ast.UnaryExpr:
 			if v.Op == token.ARROW {
 				report(v, "channel receive <-"+types.ExprString(v.X))
@@ -215,11 +221,30 @@ func checkRegionStmt(pkg *Package, stmt ast.Stmt, lockExpr string, scopePos toke
 				report(v, "close("+types.ExprString(v.Args[0])+")")
 			} else if fn := calledFunc(pkg, v); fn != nil && blockingWaits[fn.FullName()] {
 				report(v, fn.FullName())
+			} else if callee := blockingCallee(pkg, v); callee != nil {
+				report(v, "call to "+shortFuncName(callee.fn)+" which may block ("+
+					pkg.prog.blockWitness(callee)+")")
 			}
 		}
 		return true
 	})
 	return out
+}
+
+// blockingCallee resolves call through the interprocedural engine and
+// returns the first candidate callee whose transitive summary says it
+// can block, or nil. Candidates come back in deterministic declaration
+// order, so the witness chain is stable across runs.
+func blockingCallee(pkg *Package, call *ast.CallExpr) *funcNode {
+	if pkg.prog == nil {
+		return nil
+	}
+	for _, cand := range pkg.prog.resolve(pkg, call) {
+		if cand.summary.blocks {
+			return cand
+		}
+	}
+	return nil
 }
 
 // selectHasDefault reports whether sel has a default clause.

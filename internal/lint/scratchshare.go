@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ScratchShare flags the shard-scratch lifetime class fixed in PR 6:
+// scratch state created outside a par.ForEach/ForEachWorker/
+// ForEachChunk body but written inside it without per-worker indexing.
+// Two workers then write the same slots concurrently, and which write
+// lands last depends on the schedule — exactly the nondeterminism the
+// par package's worker/chunk arguments exist to prevent.
+//
+// Classification of each write target's root variable:
+//   - paramDerived: the closure's worker/index parameters, plus locals
+//     (transitively) computed from them — `sh := shards[i]` — including
+//     range VALUE variables over param-derived expressions. Range KEY
+//     variables are deliberately NOT derived: `for j := range xs[i]`
+//     repeats the same j sequence in every worker, so scratch[j] is a
+//     shared slot (the original bug's shape). Writes here are clean.
+//   - captured (or an alias of one): declared outside the closure.
+//     Writes are findings unless an index on the access path is itself
+//     param-derived (errs[i] = ..., scratch[w][j] = ...).
+//   - fresh: allocated inside the closure from whole cloth; clean.
+//
+// Deliberate cross-worker aggregation (e.g. under a mutex) needs an
+// //ecglint:allow scratchshare audit trail.
+type ScratchShare struct{}
+
+func (ScratchShare) Name() string { return "scratchshare" }
+
+func (ScratchShare) Doc() string {
+	return "no writes to captured state inside par.ForEach bodies without per-worker indexing"
+}
+
+func (ScratchShare) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isParForEach(pkg, call) || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			out = append(out, scratchCheckBody(pkg, call, lit)...)
+			return true
+		})
+	}
+	return out
+}
+
+// isParForEach reports whether call invokes one of the par package's
+// ForEach* entry points.
+func isParForEach(pkg *Package, call *ast.CallExpr) bool {
+	fn := calledFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if pathTail(fn.Pkg().Path()) != "par" {
+		return false
+	}
+	name := fn.Name()
+	return len(name) >= 7 && name[:7] == "ForEach"
+}
+
+// scratchCheckBody classifies every write in the worker closure.
+func scratchCheckBody(pkg *Package, call *ast.CallExpr, lit *ast.FuncLit) []Finding {
+	body := posRange{lit.Pos(), lit.End()}
+	obj := func(id *ast.Ident) types.Object {
+		if o := pkg.Info.Defs[id]; o != nil {
+			return o
+		}
+		return pkg.Info.Uses[id]
+	}
+
+	paramDerived := make(map[types.Object]bool)
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if o := pkg.Info.Defs[name]; o != nil {
+				paramDerived[o] = true
+			}
+		}
+	}
+	mentionsDerived := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if o := pkg.Info.Uses[id]; o != nil && paramDerived[o] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	// Propagate derivation through local definitions to a fixed point
+	// (chains like `sh := shards[i]; q := sh.queue` are common).
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.AssignStmt:
+				for i, l := range v.Lhs {
+					id, ok := l.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					o := obj(id)
+					if o == nil || paramDerived[o] || !body.contains(o.Pos()) {
+						continue
+					}
+					var rhs ast.Expr
+					if len(v.Lhs) == len(v.Rhs) {
+						rhs = v.Rhs[i]
+					} else if len(v.Rhs) == 1 {
+						rhs = v.Rhs[0]
+					}
+					if rhs != nil && mentionsDerived(rhs) {
+						paramDerived[o] = true
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				// Value var inherits derivation from the ranged expression;
+				// the key var does not — its sequence repeats per worker.
+				if v.Tok == token.DEFINE && v.Value != nil {
+					if id, ok := v.Value.(*ast.Ident); ok && id.Name != "_" {
+						if o := obj(id); o != nil && !paramDerived[o] && mentionsDerived(v.X) {
+							paramDerived[o] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// capturedAlias: inside-declared locals that alias captured state
+	// (derived from outside variables but not from the worker params).
+	capturedAlias := make(map[types.Object]bool)
+	isCaptured := func(o types.Object) bool {
+		if o == nil || paramDerived[o] {
+			return false
+		}
+		return !body.contains(o.Pos()) || capturedAlias[o]
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			v, ok := n.(*ast.AssignStmt)
+			if !ok || v.Tok != token.DEFINE || len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, l := range v.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				o := obj(id)
+				if o == nil || paramDerived[o] || capturedAlias[o] || !body.contains(o.Pos()) {
+					continue
+				}
+				if root := rootIdent(v.Rhs[i]); root != nil && isCaptured(pkg.Info.Uses[root]) &&
+					isRefType(pkg.Info.TypeOf(v.Rhs[i])) {
+					capturedAlias[o] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	parName := "par." + calledFunc(pkg, call).Name()
+	var out []Finding
+	check := func(target ast.Expr) {
+		root := rootIdent(target)
+		if root == nil {
+			return
+		}
+		o := pkg.Info.Uses[root]
+		if !isCaptured(o) {
+			return
+		}
+		// An index drawn from the worker parameters makes the slot
+		// worker-private.
+		for e := target; ; {
+			switch v := unparen(e).(type) {
+			case *ast.IndexExpr:
+				if mentionsDerived(v.Index) {
+					return
+				}
+				e = v.X
+				continue
+			case *ast.SelectorExpr:
+				e = v.X
+				continue
+			case *ast.StarExpr:
+				e = v.X
+				continue
+			}
+			break
+		}
+		out = append(out, Finding{
+			Pos:  pkg.Fset.Position(target.Pos()),
+			Rule: "scratchshare",
+			Message: "write to " + types.ExprString(target) + " inside " + parName +
+				" shares " + o.Name() + " across workers without per-worker indexing; " +
+				"allocate scratch inside the body or index by the worker argument",
+		})
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if v.Tok == token.DEFINE {
+				return true
+			}
+			for _, l := range v.Lhs {
+				check(l)
+			}
+		case *ast.IncDecStmt:
+			check(v.X)
+		}
+		return true
+	})
+	return out
+}

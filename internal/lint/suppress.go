@@ -10,73 +10,125 @@ const allowPrefix = "//ecglint:allow"
 
 // directive is one parsed //ecglint:allow comment.
 type directive struct {
-	file string
-	line int
-	rule string
+	pos    token.Position
+	rule   string
+	reason string
+	// used flips when the directive suppresses a finding or sanctions a
+	// call path during summary construction; directives still unused
+	// after the run are reported as stale.
+	used bool
 }
 
-// directives scans pkg's comments for allow directives. Malformed
-// directives (missing rule or reason) and directives naming a rule no
-// analyzer implements are returned as findings under the "directive"
+// suppressions indexes every well-formed allow directive in the loaded
+// packages. Analyzers and the summary engine consult it through
+// suppressed, which also marks the matched directive used so the audit
+// can report suppressions that no longer cover anything.
+type suppressions struct {
+	dirs []*directive
+	// byKey maps file\x00rule\x00line to the directive covering that
+	// line: a directive covers its own line and the line directly below.
+	byKey map[string]*directive
+	// bad holds findings for malformed or unknown-rule directives.
+	bad []Finding
+}
+
+func suppressKey(file string, line int, rule string) string {
+	return file + "\x00" + rule + "\x00" + strconv.Itoa(line)
+}
+
+// newSuppressions scans every package's comments for allow directives.
+// Malformed directives (missing rule or reason) and directives naming a
+// rule no analyzer implements become findings under the "directive"
 // pseudo-rule, so a typo cannot silently disable nothing.
-func directives(pkg *Package, known map[string]bool) ([]directive, []Finding) {
-	var dirs []directive
-	var bad []Finding
-	for _, file := range pkg.Files {
-		for _, cg := range file.Comments {
-			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
-				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
-					continue // not a directive (e.g. //ecglint:allowlist prose)
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				fields := strings.Fields(rest)
-				switch {
-				case len(fields) == 0:
-					bad = append(bad, Finding{Pos: pos, Rule: "directive",
-						Message: "ecglint:allow needs a rule name and a reason"})
-				case len(fields) == 1:
-					bad = append(bad, Finding{Pos: pos, Rule: "directive",
-						Message: "ecglint:allow " + fields[0] + " needs a reason"})
-				case !known[fields[0]]:
-					bad = append(bad, Finding{Pos: pos, Rule: "directive",
-						Message: "unknown rule " + fields[0] + " in ecglint:allow"})
-				default:
-					dirs = append(dirs, directive{file: pos.Filename, line: pos.Line, rule: fields[0]})
+func newSuppressions(pkgs []*Package, known map[string]bool) *suppressions {
+	s := &suppressions{byKey: make(map[string]*directive)}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+					if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+						continue // not a directive (e.g. //ecglint:allowlist prose)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					switch {
+					case len(fields) == 0:
+						s.bad = append(s.bad, Finding{Pos: pos, Rule: "directive",
+							Message: "ecglint:allow needs a rule name and a reason"})
+					case len(fields) == 1:
+						s.bad = append(s.bad, Finding{Pos: pos, Rule: "directive",
+							Message: "ecglint:allow " + fields[0] + " needs a reason"})
+					case !known[fields[0]]:
+						s.bad = append(s.bad, Finding{Pos: pos, Rule: "directive",
+							Message: "unknown rule " + fields[0] + " in ecglint:allow"})
+					default:
+						d := &directive{pos: pos, rule: fields[0],
+							reason: strings.Join(fields[1:], " ")}
+						s.dirs = append(s.dirs, d)
+						s.byKey[suppressKey(pos.Filename, pos.Line, d.rule)] = d
+						s.byKey[suppressKey(pos.Filename, pos.Line+1, d.rule)] = d
+					}
 				}
 			}
 		}
 	}
-	return dirs, bad
+	return s
 }
 
-// suppress drops findings covered by a directive. A directive covers a
-// finding of its rule when it sits on the finding's line, on the line
-// directly above it, or in the same positions relative to the finding's
-// scope statement (the enclosing range loop for maporder). Each
-// directive names exactly one rule; a line with two different
-// violations needs two directives.
-func suppress(findings []Finding, dirs []directive) []Finding {
-	if len(dirs) == 0 {
-		return findings
+// suppressed reports whether a finding of rule at pos is covered by a
+// directive, marking the directive used. A directive covers a finding
+// of its rule when it sits on the finding's line or on the line
+// directly above it. Each directive names exactly one rule; a line with
+// two different violations needs two directives.
+func (s *suppressions) suppressed(pos token.Position, rule string) bool {
+	if !pos.IsValid() {
+		return false
 	}
-	covered := make(map[string]bool, len(dirs)*2)
-	key := func(file string, line int, rule string) string {
-		return file + "\x00" + rule + "\x00" + strconv.Itoa(line)
+	d, ok := s.byKey[suppressKey(pos.Filename, pos.Line, rule)]
+	if !ok {
+		return false
 	}
-	for _, d := range dirs {
-		covered[key(d.file, d.line, d.rule)] = true
-		covered[key(d.file, d.line+1, d.rule)] = true
-	}
-	matches := func(pos token.Position, rule string) bool {
-		return pos.IsValid() && covered[key(pos.Filename, pos.Line, rule)]
-	}
+	d.used = true
+	return true
+}
+
+// filter drops findings covered by a directive, matching either the
+// finding's own position or its scope statement (the enclosing range
+// loop for maporder).
+func (s *suppressions) filter(findings []Finding) []Finding {
 	kept := findings[:0]
 	for _, f := range findings {
-		if matches(f.Pos, f.Rule) || matches(f.ScopePos, f.Rule) {
+		if s.suppressed(f.Pos, f.Rule) || s.suppressed(f.ScopePos, f.Rule) {
 			continue
 		}
 		kept = append(kept, f)
 	}
 	return kept
+}
+
+// stale returns a finding for every well-formed directive that matched
+// nothing during the run: the violation it once excused is gone (or the
+// directive drifted off its line), and keeping it would hide a future
+// regression without audit.
+func (s *suppressions) stale() []Finding {
+	var out []Finding
+	for _, d := range s.dirs {
+		if d.used {
+			continue
+		}
+		out = append(out, Finding{Pos: d.pos, Rule: "directive",
+			Message: "stale ecglint:allow " + d.rule + ": no " + d.rule +
+				" finding here; remove the directive"})
+	}
+	return out
+}
+
+// allows returns the audit view of every well-formed directive.
+func (s *suppressions) allows() []Allow {
+	out := make([]Allow, 0, len(s.dirs))
+	for _, d := range s.dirs {
+		out = append(out, Allow{Pos: d.pos, Rule: d.rule, Reason: d.reason, Stale: !d.used})
+	}
+	return out
 }

@@ -1,0 +1,74 @@
+// Package cowmutate seeds the copy-on-write violations: the exact
+// pre-fix Maintainer.RunOnce shape (load the published plan, mutate it
+// in place, store it back) plus the sanctioned clone-first variants.
+package cowmutate
+
+import "sync/atomic"
+
+type plan struct {
+	Epoch  int
+	Assign []int
+}
+
+// cloneShallow is the sanctioned copy-on-write entry point; the clone
+// heuristic (name contains "clone"/"copy") breaks the taint.
+func (p *plan) cloneShallow() *plan {
+	c := *p
+	return &c
+}
+
+type maintainer struct {
+	plan atomic.Pointer[plan]
+}
+
+// runOnceBad is the pre-fix RunOnce shape: load, mutate in place, store.
+// Both writes race every concurrent reader of the published plan.
+func (m *maintainer) runOnceBad() {
+	cur := m.plan.Load()
+	cur.Epoch++
+	cur.Assign[0] = 1
+	m.plan.Store(cur)
+}
+
+// runOnceGood clones before mutating: clean.
+func (m *maintainer) runOnceGood() {
+	cur := m.plan.Load()
+	next := cur.cloneShallow()
+	next.Epoch++
+	m.plan.Store(next)
+}
+
+// buildThenStore constructs a fresh value (pre-publication writes are
+// clean) but then mutates it after the Store publishes it.
+func (m *maintainer) buildThenStore() {
+	fresh := &plan{}
+	fresh.Epoch = 1
+	m.plan.Store(fresh)
+	fresh.Epoch = 2
+}
+
+// bump mutates its parameter through the pointer.
+func bump(p *plan) { p.Epoch++ }
+
+// viaHelper hands the published value to a helper whose transitive
+// summary says it mutates that parameter: the same bug one frame down.
+func (m *maintainer) viaHelper() {
+	cur := m.plan.Load()
+	bump(cur)
+}
+
+// current is an accessor returning the published value; its summary
+// carries returns-atomic-load.
+func (m *maintainer) current() *plan { return m.plan.Load() }
+
+// viaAccessor mutates a value obtained through the accessor.
+func (m *maintainer) viaAccessor() {
+	p := m.current()
+	p.Epoch++
+}
+
+// swapThenTouch mutates the value swapped out of the publish site.
+func (m *maintainer) swapThenTouch(next *plan) {
+	old := m.plan.Swap(next)
+	old.Epoch = 0
+}

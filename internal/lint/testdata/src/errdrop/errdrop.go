@@ -1,0 +1,85 @@
+// Package errdrop seeds the silent-error-loss violations: the pre-fix
+// events-channel shape (non-blocking send of an error-carrying payload
+// with an empty default) and blank-identifier discards of error
+// results, next to their sanctioned counterparts.
+package errdrop
+
+type event struct {
+	Round int
+	Err   error
+}
+
+type bus struct {
+	events  chan event
+	dropped int
+}
+
+// publishBad is the pre-fix shape: when the channel is full the event —
+// and the error inside it — vanishes without a trace.
+func (b *bus) publishBad(ev event) {
+	select {
+	case b.events <- ev:
+	default:
+	}
+}
+
+// publishRecorded counts the drop in the default clause: clean.
+func (b *bus) publishRecorded(ev event) {
+	select {
+	case b.events <- ev:
+	default:
+		b.dropped++
+	}
+}
+
+// publishEvict uses the evict-then-resend idiom: the same function
+// receives from the channel, so the nested empty-default sends are the
+// sanctioned recovery path.
+func (b *bus) publishEvict(ev event) {
+	select {
+	case b.events <- ev:
+		return
+	default:
+	}
+	select {
+	case <-b.events:
+	default:
+	}
+	select {
+	case b.events <- ev:
+	default:
+	}
+}
+
+type plain struct{ n int }
+
+// sendPlain drops a payload with no error field: out of scope.
+func sendPlain(ch chan plain, p plain) {
+	select {
+	case ch <- p:
+	default:
+	}
+}
+
+func mayFail() (int, error) { return 0, nil }
+
+func onlyErr() error { return nil }
+
+// discards bind error results to the blank identifier.
+func discards() int {
+	v, _ := mayFail()
+	_ = onlyErr()
+	return v
+}
+
+// handled consumes its errors: clean.
+func handled() int {
+	v, err := mayFail()
+	if err != nil {
+		return -1
+	}
+	if err := onlyErr(); err != nil {
+		return -1
+	}
+	return v
+}

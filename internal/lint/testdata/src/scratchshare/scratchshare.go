@@ -1,0 +1,67 @@
+// Package scratchshare seeds the shard-scratch lifetime violations:
+// scratch allocated outside a par.ForEach body and written inside it
+// without per-worker indexing, next to the sanctioned worker-indexed
+// and body-local shapes.
+package scratchshare
+
+import "edgecachegroups/internal/par"
+
+// sharedSlots is the original bug shape: j ranges over the same key
+// sequence in every worker, so scratch[j] is written by all of them.
+func sharedSlots(rows [][]float64) []float64 {
+	scratch := make([]float64, 8)
+	par.ForEach(len(rows), 4, func(i int) {
+		for j := range rows[i] {
+			scratch[j] += rows[i][j]
+		}
+	})
+	return scratch
+}
+
+// sharedCounter writes a captured scalar with no indexing at all.
+func sharedCounter(n int) int {
+	total := 0
+	par.ForEach(n, 4, func(i int) {
+		total += i
+	})
+	return total
+}
+
+// sharedAlias smuggles the captured slice through a body-local alias.
+func sharedAlias(rows [][]float64) []float64 {
+	scratch := make([]float64, 8)
+	par.ForEach(len(rows), 4, func(i int) {
+		s := scratch
+		s[0] = rows[i][0]
+	})
+	return scratch
+}
+
+// perItem indexes the captured slice by the worker argument: clean.
+func perItem(rows [][]float64) []float64 {
+	out := make([]float64, len(rows))
+	par.ForEach(len(rows), 4, func(i int) {
+		sum := 0.0
+		for _, v := range rows[i] {
+			sum += v
+		}
+		out[i] = sum
+	})
+	return out
+}
+
+// perWorker uses worker-indexed scratch, the ForEachWorker contract:
+// clean.
+func perWorker(rows [][]float64, workers int) []float64 {
+	scratch := make([][]float64, workers)
+	for w := range scratch {
+		scratch[w] = make([]float64, 8)
+	}
+	par.ForEachWorker(len(rows), workers, func(w, i int) {
+		sums := scratch[w]
+		for j, v := range rows[i] {
+			sums[j] += v
+		}
+	})
+	return scratch[0]
+}

@@ -1,0 +1,7 @@
+// Package staleallow carries a well-formed directive whose violation no
+// longer exists; the suite must report the directive itself as stale
+// instead of letting it silently guard nothing.
+package staleallow
+
+//ecglint:allow detclock the wall-clock call this excused was removed long ago
+func nothing() int { return 1 }

@@ -1,0 +1,14 @@
+// Package clockutil is a non-simulation helper package whose functions
+// hide wall-clock reads behind one and two call frames. The syntactic
+// detclock check never fires here (not a simulation package); the
+// interprocedural engine must attribute the taint to simulation-package
+// call sites.
+package clockutil
+
+import "time"
+
+// HiddenNow reads the wall clock one frame down.
+func HiddenNow() int64 { return time.Now().UnixNano() }
+
+// Indirect reaches the wall clock two frames down.
+func Indirect() int64 { return HiddenNow() }

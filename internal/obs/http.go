@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -9,6 +10,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // WritePrometheus renders the registry in the Prometheus text exposition
@@ -51,12 +53,14 @@ func Handler(o *Obs) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		//ecglint:allow errdrop a failed exposition write means the scraper went away; nothing to record server-side
 		_ = WritePrometheus(w, o.Registry())
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
+		//ecglint:allow errdrop a failed exposition write means the scraper went away; nothing to record server-side
 		_ = enc.Encode(o.Registry().Snapshot())
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
@@ -64,12 +68,14 @@ func Handler(o *Obs) http.Handler {
 		kind := req.URL.Query().Get("kind")
 		sink := o.Trace()
 		if kind == "" {
+			//ecglint:allow errdrop a failed exposition write means the scraper went away; nothing to record server-side
 			_ = sink.WriteJSONL(w)
 			return
 		}
 		enc := json.NewEncoder(w)
 		for _, e := range sink.Events() {
 			if string(e.Kind) == kind {
+				//ecglint:allow errdrop a failed exposition write means the scraper went away; nothing to record server-side
 				_ = enc.Encode(e)
 			}
 		}
@@ -87,6 +93,20 @@ func Handler(o *Obs) http.Handler {
 type Server struct {
 	srv *http.Server
 	ln  net.Listener
+
+	errMu    sync.Mutex
+	serveErr error // terminal accept-loop error other than a clean Close
+}
+
+// ServeErr returns the error that killed the background accept loop, if
+// it died for a reason other than Close; nil while serving normally.
+func (s *Server) ServeErr() error {
+	if s == nil {
+		return nil
+	}
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.serveErr
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -97,12 +117,17 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close shuts the listener down. Safe on a nil receiver.
+// Close shuts the listener down, surfacing any error that killed the
+// accept loop while the server ran. Safe on a nil receiver.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
-	return s.srv.Close()
+	closeErr := s.srv.Close()
+	if serveErr := s.ServeErr(); serveErr != nil {
+		return serveErr
+	}
+	return closeErr
 }
 
 // Serve binds addr (host:port; use ":0" for an ephemeral port) and
@@ -114,6 +139,13 @@ func Serve(addr string, o *Obs) (*Server, error) {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: Handler(o)}
-	go func() { _ = srv.Serve(ln) }()
-	return &Server{srv: srv, ln: ln}, nil
+	s := &Server{srv: srv, ln: ln}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.errMu.Lock()
+			s.serveErr = err
+			s.errMu.Unlock()
+		}
+	}()
+	return s, nil
 }

@@ -471,3 +471,27 @@ func TestRegistryConcurrentRegisterAndSnapshot(t *testing.T) {
 		t.Fatalf("counter total = %d, want %d", total, 8*200)
 	}
 }
+
+// Killing the listener out from under the exposition accept loop must
+// surface the loop's terminal error through ServeErr and Close instead
+// of silently discarding it.
+func TestServeErrSurfacesAcceptLoopFailure(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ServeErr(); err != nil {
+		t.Fatalf("ServeErr before any failure = %v", err)
+	}
+	s.ln.Close() // simulate the listener dying while the server runs
+	deadline := time.Now().Add(5 * time.Second)
+	for s.ServeErr() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.ServeErr() == nil {
+		t.Fatal("accept-loop failure never surfaced via ServeErr")
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("Close swallowed the accept-loop failure")
+	}
+}

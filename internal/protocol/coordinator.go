@@ -504,6 +504,7 @@ func (c *Coordinator) requestRound(name string, peers []topology.CacheIndex, tar
 			c.seq++
 			seqOf[c.seq] = p
 			c.sent++
+			//ecglint:allow errdrop lost probe requests are re-sent by the retry loop and counted in c.retries
 			_ = c.transport.Send(Message{
 				Kind:    MsgProbeRequest,
 				From:    CoordinatorAddr(),
@@ -685,6 +686,7 @@ func (c *Coordinator) assignRound(res *Result) []topology.CacheIndex {
 			c.seq++
 			seqOf[c.seq] = ci
 			c.sent++
+			//ecglint:allow errdrop lost assigns are re-sent by the retry loop and counted in c.retries
 			_ = c.transport.Send(Message{
 				Kind:    MsgAssign,
 				From:    CoordinatorAddr(),

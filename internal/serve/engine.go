@@ -406,7 +406,8 @@ func (e *Engine) Start() {
 				case <-e.stop:
 					return
 				case <-ticker.C:
-					_, _ = e.Tick() // failures surface via Health/obs
+					//ecglint:allow errdrop Tick failures surface via Health (lastErr, consecFailures) and the tick-errors counter
+					_, _ = e.Tick()
 				}
 			}
 		}()

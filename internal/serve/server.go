@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"edgecachegroups/internal/obs"
@@ -60,6 +61,7 @@ const maxStatsBody = 16 << 20
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
+	//ecglint:allow errdrop a failed response write means the client went away; the status line is already committed
 	_ = json.NewEncoder(w).Encode(v)
 }
 
@@ -205,6 +207,20 @@ type Server struct {
 	engine *Engine
 	srv    *http.Server
 	ln     net.Listener
+
+	errMu    sync.Mutex
+	serveErr error // terminal accept-loop error other than a clean Close
+}
+
+// ServeErr returns the error that killed the background accept loop, if
+// it died for a reason other than Close; nil while serving normally.
+func (s *Server) ServeErr() error {
+	if s == nil {
+		return nil
+	}
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.serveErr
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -236,6 +252,9 @@ func (s *Server) Close() error {
 	if persistErr != nil {
 		return persistErr
 	}
+	if serveErr := s.ServeErr(); serveErr != nil {
+		return serveErr
+	}
 	return closeErr
 }
 
@@ -249,6 +268,13 @@ func Serve(addr string, e *Engine, o *obs.Obs) (*Server, error) {
 	}
 	srv := &http.Server{Handler: NewHandler(e, o)}
 	e.Start()
-	go func() { _ = srv.Serve(ln) }()
-	return &Server{engine: e, srv: srv, ln: ln}, nil
+	s := &Server{engine: e, srv: srv, ln: ln}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.errMu.Lock()
+			s.serveErr = err
+			s.errMu.Unlock()
+		}
+	}()
+	return s, nil
 }

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"edgecachegroups/internal/core"
 	"edgecachegroups/internal/obs"
@@ -231,5 +232,33 @@ func TestServeLifecycle(t *testing.T) {
 	}
 	if err := (*Server)(nil).Close(); err != nil {
 		t.Fatalf("nil Close: %v", err)
+	}
+}
+
+// Killing the listener out from under the accept loop must surface the
+// loop's terminal error through ServeErr and Close instead of silently
+// discarding it (the loop used to drop it with `_ = srv.Serve(ln)`).
+func TestServeErrSurfacesAcceptLoopFailure(t *testing.T) {
+	e, err := NewEngine(testConfig(testPlan(8)))
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	s, err := Serve("127.0.0.1:0", e, obs.New())
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if err := s.ServeErr(); err != nil {
+		t.Fatalf("ServeErr before any failure = %v", err)
+	}
+	s.ln.Close() // simulate the listener dying while the server runs
+	deadline := time.Now().Add(5 * time.Second)
+	for s.ServeErr() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.ServeErr() == nil {
+		t.Fatal("accept-loop failure never surfaced via ServeErr")
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("Close swallowed the accept-loop failure")
 	}
 }

@@ -69,7 +69,7 @@ func (b *StatsBuffer) Record(s CacheStat) {
 		if prev, ok := buf.latest[s.Cache]; ok {
 			s.Requests += prev.Requests
 		}
-		buf.latest[s.Cache] = s
+		buf.latest[s.Cache] = s //ecglint:allow cowmutate double-buffer write path: mutation happens under buf.mu with the sealed check, never on a retired buffer (covers reports++ below)
 		buf.reports++
 		buf.mu.Unlock()
 		b.total.Add(1)
@@ -84,8 +84,9 @@ func (b *StatsBuffer) Record(s CacheStat) {
 func (b *StatsBuffer) Swap() (map[int]CacheStat, int64) {
 	old := b.active.Swap(newIngestBuffer())
 	old.mu.Lock()
-	old.sealed = true
+	old.sealed = true //ecglint:allow cowmutate sealing the swapped-out buffer under its mu is the handoff protocol; writers observe sealed and retry
 	stats, n := old.latest, old.reports
+	//ecglint:allow cowmutate the sealed buffer is exclusively owned here; clearing latest transfers the map to the caller
 	old.latest = nil
 	old.mu.Unlock()
 	return stats, n

@@ -14,16 +14,18 @@
 # wall-clock ratio pin the bounds-pruning win), the flat feature-build path
 # (FeatureBuild, with its O(1)-allocation guard), the end-to-end Fig3
 # sweep, the simulator throughput path whose allocs/op the allocation-lean
-# work targets, and the observability record paths (ObsHistogram = enabled
+# work targets, the observability record paths (ObsHistogram = enabled
 # per-sample cost, ObsDisabled = nil-handle overhead; both must stay at
-# 0 allocs/op).
+# 0 allocs/op), and the full-module lint-engine run (EcglintModule = the
+# per-invocation cost of the CI lint gate: load, type-check, call graph,
+# summaries, analyzers).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-3}"
 BENCHTIME="${2:-1x}"
-BENCH_PATTERN='BenchmarkKMeansPar|BenchmarkKMeansFlat|BenchmarkFeatureBuild|BenchmarkGNPEmbedHosts|BenchmarkFig3GroupSizeSweep|BenchmarkSimulatorThroughput|BenchmarkSimShards|BenchmarkObs'
+BENCH_PATTERN='BenchmarkKMeansPar|BenchmarkKMeansFlat|BenchmarkFeatureBuild|BenchmarkGNPEmbedHosts|BenchmarkFig3GroupSizeSweep|BenchmarkSimulatorThroughput|BenchmarkSimShards|BenchmarkObs|BenchmarkEcglint'
 OUT="BENCH_pipeline.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

@@ -22,6 +22,9 @@ fi
 echo "==> ecglint ./..."
 go run ./cmd/ecglint ./...
 
+echo "==> ecglint -audit ./..."
+go run ./cmd/ecglint -audit ./...
+
 echo "==> go test -race ./..."
 go test -race "$@" ./...
 
